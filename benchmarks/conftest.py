@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Dataset construction and model training
+are session-scoped so pytest-benchmark timings measure only the system
+under test.
+
+Scale note: datasets default to roughly paper-scale *pattern counts* (the
+quantity that drives every comparison) at ~10–20x reduced log volume so a
+full benchmark run finishes on a laptop; the log-volume knobs accept paper
+scale.  EXPERIMENTS.md records paper-vs-measured for every entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import LogLens
+from repro.datasets.synthetic import generate_d2
+from repro.datasets.trace import generate_d1
+
+#: Events per workflow used by the stateful benches — paper scale for D1
+#: (~16k logs per split).
+D1_EVENTS = 1600
+D2_EVENTS = 1200
+
+
+@pytest.fixture(scope="session")
+def d1_dataset():
+    return generate_d1(events_per_workflow=D1_EVENTS)
+
+
+@pytest.fixture(scope="session")
+def d2_dataset():
+    return generate_d2(events_per_workflow=D2_EVENTS)
+
+
+@pytest.fixture(scope="session")
+def d1_lens(d1_dataset):
+    return LogLens().fit(d1_dataset.train)
+
+
+@pytest.fixture(scope="session")
+def d2_lens(d2_dataset):
+    return LogLens().fit(d2_dataset.train)
+
+
+def report(title: str, rows: dict) -> None:
+    """Print a compact paper-vs-measured block under the bench output."""
+    print("\n=== %s ===" % title)
+    width = max(len(k) for k in rows)
+    for key, value in rows.items():
+        print("  %-*s : %s" % (width, key, value))

@@ -1,0 +1,71 @@
+"""Section VII-A — analysing custom SQL application logs.
+
+Paper: users needed one week to hand-write parsing patterns for these
+extremely complex query logs; LogLens generated 367 patterns in 50
+seconds — a 12,096x man-hour reduction (1 week ≈ 168 h vs 50 s).
+
+The bench measures unsupervised pattern discovery over the reproduced
+corpus and reports the discovered pattern count plus the implied
+man-hour-reduction factor at the paper's one-week manual baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.datasets.sql_app import generate_sql_app
+from repro.parsing.logmine import PatternDiscoverer
+from repro.parsing.parser import FastLogParser, ParsedLog, PatternModel
+from repro.parsing.tokenizer import Tokenizer
+
+
+@pytest.fixture(scope="module")
+def sql_corpus():
+    return generate_sql_app(n_structures=367, logs_per_structure=4)
+
+
+def test_pattern_discovery(benchmark, sql_corpus):
+    tokenizer = Tokenizer()
+
+    def run():
+        tokenized = tokenizer.tokenize_many(sql_corpus.train)
+        return PatternDiscoverer().discover(tokenized)
+
+    patterns = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The paper discovered 367 patterns; the reproduction's count should
+    # land in the same few-hundred regime (the corpus has 367 distinct
+    # structures, some of which legitimately merge under clustering).
+    assert 250 <= len(patterns) <= 450
+
+
+def test_discovered_patterns_parse_the_corpus(sql_corpus):
+    tokenizer = Tokenizer()
+    patterns = PatternDiscoverer().discover(
+        tokenizer.tokenize_many(sql_corpus.train)
+    )
+    parser = FastLogParser(PatternModel(patterns), tokenizer=tokenizer)
+    results = parser.parse_all(sql_corpus.test)
+    unparsed = sum(1 for r in results if not isinstance(r, ParsedLog))
+    assert unparsed == 0
+
+
+def test_case_study_summary(sql_corpus):
+    tokenizer = Tokenizer()
+    start = time.perf_counter()
+    tokenized = tokenizer.tokenize_many(sql_corpus.train)
+    patterns = PatternDiscoverer().discover(tokenized)
+    elapsed = time.perf_counter() - start
+    manual_seconds = 7 * 24 * 3600  # the paper's one-week manual effort
+    reduction = manual_seconds / max(elapsed, 1e-9)
+    report(
+        "Section VII-A — SQL application logs case study",
+        {
+            "patterns discovered": "%d (paper: 367)" % len(patterns),
+            "discovery time": "%.1f s (paper: 50 s)" % elapsed,
+            "man-hour reduction": "%.0fx (paper: 12096x)" % reduction,
+        },
+    )
+    assert elapsed < manual_seconds

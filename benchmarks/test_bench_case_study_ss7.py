@@ -1,0 +1,95 @@
+"""Section VII-B — discovering SS7 spoofing attacks (Figure 6/7).
+
+Paper: from 2.7M SS7 logs (2h train / 1h test) LogLens reported 994
+anomalies forming 4 temporally-close clusters; each anomaly is a protocol
+exchange following ``InvokePurgeMs → InvokeSendAuthenticationInfo``
+without the closing ``InvokeUpdateLocation`` — a spoofing attack probing
+credentials.  Manual investigation took domain experts 2 days; LogLens
+needed 5 minutes (576x man-hour reduction).
+
+The reproduction keeps the attack count (994) and cluster structure (4)
+exact at ~20x reduced traffic volume.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.core.pipeline import LogLens
+from repro.datasets.ss7 import generate_ss7
+
+
+@pytest.fixture(scope="module")
+def ss7():
+    return generate_ss7(
+        train_events=4000,
+        test_normal_events=2000,
+        attack_count=994,
+        n_clusters=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def ss7_lens(ss7):
+    return LogLens().fit(ss7.train)
+
+
+def test_attack_detection(benchmark, ss7, ss7_lens):
+    anomalies = benchmark.pedantic(
+        ss7_lens.detect,
+        args=(ss7.test,),
+        kwargs={"flush_open_events": True},
+        rounds=1,
+        iterations=1,
+    )
+    missing_end = [a for a in anomalies if a.type.value == "missing_end"]
+    assert len(missing_end) == 994, "paper: 994 anomalies"
+    assert len(anomalies) == 994, "no false alarms on normal exchanges"
+
+
+def test_anomalies_form_four_clusters(ss7, ss7_lens):
+    """Figure 6: anomalies concentrate in the injected attack windows."""
+    anomalies = ss7_lens.detect(ss7.test, flush_open_events=True)
+    per_cluster = [0] * len(ss7.cluster_windows)
+    outside = 0
+    for anomaly in anomalies:
+        ts = anomaly.timestamp_millis
+        for idx, (lo, hi) in enumerate(ss7.cluster_windows):
+            if lo <= ts <= hi + 60_000:
+                per_cluster[idx] += 1
+                break
+        else:
+            outside += 1
+    assert all(count > 0 for count in per_cluster)
+    assert outside == 0
+
+
+def test_attack_sequences_lack_update_location(ss7, ss7_lens):
+    """Figure 7: the anomalous traces end after SendAuthenticationInfo."""
+    anomalies = ss7_lens.detect(ss7.test, flush_open_events=True)
+    for anomaly in anomalies[:50]:
+        assert any("InvokePurgeMs" in line for line in anomaly.logs)
+        assert not any(
+            "InvokeUpdateLocation" in line for line in anomaly.logs
+        )
+
+
+def test_case_study_summary(ss7, ss7_lens):
+    start = time.perf_counter()
+    anomalies = ss7_lens.detect(ss7.test, flush_open_events=True)
+    elapsed = time.perf_counter() - start
+    manual_seconds = 2 * 24 * 3600  # the experts' 2-day investigation
+    report(
+        "Section VII-B — SS7 spoofing case study",
+        {
+            "anomalies": "%d (paper: 994)" % len(anomalies),
+            "clusters": "4 temporal windows, all populated",
+            "detection time": "%.1f s (paper: 5 min)" % elapsed,
+            "man-hour reduction": "%.0fx (paper: 576x)"
+            % (manual_seconds / max(elapsed, 1e-9)),
+        },
+    )
+    assert len(anomalies) == 994

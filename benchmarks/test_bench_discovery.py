@@ -1,0 +1,84 @@
+"""Ablation — pattern discovery cost: bucketed vs. textbook one-pass.
+
+LogMine's one-pass clustering compares every log against every cluster
+representative — O(n · c) distance computations.  The production
+discoverer pre-buckets logs by (length, signature) so comparisons only
+happen within a bucket, keeping discovery near-linear while producing an
+equivalent pattern set.  This bench quantifies that design choice
+(DESIGN.md §5) and checks the two modes agree on what they learn.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.datasets.corpora import _STORAGE_VOCAB, generate_corpus
+from repro.parsing.logmine import PatternDiscoverer
+from repro.parsing.parser import FastLogParser, ParsedLog, PatternModel
+from repro.parsing.tokenizer import Tokenizer
+
+_TEMPLATES = 120
+_LOGS = 2400
+
+_state = {}
+
+
+def _tokenized():
+    if "logs" not in _state:
+        dataset = generate_corpus(
+            "disc", _TEMPLATES, _LOGS, _STORAGE_VOCAB, seed=17
+        )
+        _state["raw"] = dataset.train
+        _state["logs"] = Tokenizer().tokenize_many(dataset.train)
+    return _state["logs"]
+
+
+@pytest.mark.parametrize("bucketed", [True, False])
+def test_discovery_mode(benchmark, bucketed):
+    logs = _tokenized()
+
+    def run():
+        return PatternDiscoverer(bucketed=bucketed).discover(logs)
+
+    patterns = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert patterns
+
+
+def test_modes_learn_equivalent_models():
+    """Both modes must cover the corpus completely (zero anomalies)."""
+    logs = _tokenized()
+    raw = _state["raw"]
+    for bucketed in (True, False):
+        patterns = PatternDiscoverer(bucketed=bucketed).discover(logs)
+        parser = FastLogParser(PatternModel(patterns), tokenizer=Tokenizer())
+        unparsed = sum(
+            1
+            for r in parser.parse_all(raw)
+            if not isinstance(r, ParsedLog)
+        )
+        assert unparsed == 0, "bucketed=%s" % bucketed
+
+
+def test_discovery_summary():
+    logs = _tokenized()
+    times = {}
+    counts = {}
+    for bucketed in (True, False):
+        start = time.perf_counter()
+        patterns = PatternDiscoverer(bucketed=bucketed).discover(logs)
+        times[bucketed] = time.perf_counter() - start
+        counts[bucketed] = len(patterns)
+    report(
+        "Discovery ablation — bucketed vs one-pass clustering",
+        {
+            "bucketed": "%.2f s, %d patterns"
+            % (times[True], counts[True]),
+            "one-pass": "%.2f s, %d patterns"
+            % (times[False], counts[False]),
+            "speedup": "%.1fx" % (times[False] / times[True]),
+        },
+    )
+    assert times[True] < times[False]

@@ -1,0 +1,77 @@
+"""Data-center trace monitoring — the paper's D1 workload, end to end.
+
+Deploys the full LogLens service (Figure 1 of the paper): replay agents
+ship logs onto the bus, the log manager archives and forwards them, the
+stateless parser and the stateful sequence detector run as streaming
+stages with broadcast models, the heartbeat controller expires abandoned
+events, and every anomaly lands in anomaly storage.
+
+Reproduces Figure 4: all 21 injected anomalous sequences are found.
+
+Run:  python examples/datacenter_trace_monitoring.py
+"""
+
+from collections import Counter
+
+from repro import LogLens
+from repro.datasets import generate_d1
+from repro.service import ReplayAgent
+
+# ----------------------------------------------------------------------
+# 1. Generate the D1-shaped dataset: two event workflows (VM provisioning
+#    and volume attachment), 21 anomalous sequences in the test split.
+# ----------------------------------------------------------------------
+dataset = generate_d1(events_per_workflow=400)
+print(
+    "D1: %d training logs, %d test logs, %d injected anomalies"
+    % (len(dataset.train), len(dataset.test), dataset.total_anomalies)
+)
+
+# ----------------------------------------------------------------------
+# 2. Train models offline and deploy them into a running service.
+# ----------------------------------------------------------------------
+lens = LogLens().fit(dataset.train)
+print("Patterns discovered:", len(lens.patterns))
+print("Automata learned:", len(lens.sequence_model))
+
+service = lens.to_service()
+
+# ----------------------------------------------------------------------
+# 3. Replay the test split through an agent, stepping the service as the
+#    stream arrives (each step = one micro-batch period).
+# ----------------------------------------------------------------------
+agent = ReplayAgent(
+    service.bus, "logs.raw", "datacenter-east", dataset.test,
+    logs_per_step=1000,
+)
+while not agent.exhausted:
+    agent.step()
+    report = service.step()
+service.run_until_drained()
+
+# A few trailing heartbeat-only steps let the heartbeat controller expire
+# the event that never completed (the missing-end anomaly).
+for _ in range(200):
+    service.step()
+    if service.open_event_count() == 0:
+        break
+service.final_flush()
+
+# ----------------------------------------------------------------------
+# 4. Inspect anomaly storage (what the dashboard would render).
+# ----------------------------------------------------------------------
+docs = service.anomaly_storage.all()
+print("\nAnomalies stored: %d (ground truth %d)" % (
+    len(docs), dataset.total_anomalies
+))
+for kind, count in sorted(Counter(d["type"] for d in docs).items()):
+    print("    %-22s %d" % (kind, count))
+
+stats = service.stats()
+print("\nService stats:")
+for key in ("logs_archived", "parse_batches", "sequence_batches",
+            "model_updates", "downtime_seconds"):
+    print("    %-18s %s" % (key, stats[key]))
+
+assert len(docs) == dataset.total_anomalies
+print("\nOK — 100% recall, zero downtime.")

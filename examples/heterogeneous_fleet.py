@@ -1,0 +1,108 @@
+"""Monitoring a heterogeneous fleet: per-source models and drift checks.
+
+The paper's first design goal is "handling heterogeneous logs ... from
+multiple sources" (Section II-A).  This example trains separate models
+for three very different sources (a web tier, a database, a network
+switch), detects over one interleaved stream, and uses pattern-quality
+reports to decide which source's model needs the relearn automation —
+the Section VIII lesson that training data "may not cover all the
+possible use-cases".
+
+Run:  python examples/heterogeneous_fleet.py
+"""
+
+from repro.core import MultiSourceLogLens
+from repro.parsing import evaluate_pattern_model
+
+
+def web_logs(n, minute0=0):
+    lines = []
+    for i in range(n):
+        eid = "rq-%04d" % i
+        m = (minute0 + i) % 55
+        lines += [
+            f"2016/05/09 10:{m:02d}:01 nginx GET /api/v1/orders req {eid} "
+            f"client 10.2.0.{i % 200 + 1}",
+            f"2016/05/09 10:{m:02d}:03 app handled req {eid} in "
+            f"{150 + i} ms",
+            f"2016/05/09 10:{m:02d}:05 nginx req {eid} status 200 sent",
+        ]
+    return lines
+
+
+def db_logs(n, minute0=0):
+    lines = []
+    for i in range(n):
+        eid = "tx-%04d" % i
+        m = (minute0 + i) % 55
+        lines += [
+            f"2016/05/09 10:{m:02d}:02 postgres BEGIN txn {eid} "
+            f"snapshot {9000000 + i}",
+            f"2016/05/09 10:{m:02d}:06 postgres COMMIT txn {eid} ok",
+        ]
+    return lines
+
+
+def switch_logs(n):
+    return [
+        f"2016/05/09 10:{i % 55:02d}:04 sw01 port Gi0/{i % 48 + 1} "
+        f"link up speed 1000"
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. One model per source.
+# ----------------------------------------------------------------------
+fleet = MultiSourceLogLens()
+fleet.fit_source("web", web_logs(10))
+fleet.fit_source("db", db_logs(10))
+fleet.fit_source("switch", switch_logs(10))
+
+for source in fleet.sources():
+    lens = fleet.lens_for(source)
+    print("%-7s %d patterns, %d automata" % (
+        source, len(lens.patterns), len(lens.sequence_model)
+    ))
+
+# ----------------------------------------------------------------------
+# 2. One interleaved stream, demultiplexed to the right models.
+# ----------------------------------------------------------------------
+stream = (
+    [("web", line) for line in web_logs(2, minute0=30)]
+    + [("db", line) for line in db_logs(1, minute0=31)[:1]]  # no COMMIT!
+    + [("switch", line) for line in switch_logs(2)]
+    + [("mail", "an unknown appliance speaks")]
+)
+anomalies = fleet.detect_mixed(stream)
+print("\nMixed-stream anomalies:")
+for anomaly in anomalies:
+    print("    [%s] %s — %s" % (
+        anomaly.source, anomaly.type.value, anomaly.reason
+    ))
+
+# ----------------------------------------------------------------------
+# 3. Drift check: the web tier deployed v2 logs; its coverage collapses
+#    while the database model still fits perfectly.
+# ----------------------------------------------------------------------
+v2_web = [
+    f"2016/05/09 11:00:0{i} envoy routed call c-{i} upstream took {i}ms"
+    for i in range(1, 6)
+]
+print("\nDrift check (pattern-model coverage):")
+for source, sample in (
+    ("web", web_logs(3, minute0=40) + v2_web),
+    ("db", db_logs(5, minute0=40)),
+):
+    report = evaluate_pattern_model(
+        fleet.lens_for(source).pattern_model, sample
+    )
+    flag = "REBUILD" if report.coverage < 0.9 else "ok"
+    print("    %-7s %s  -> %s" % (source, report.summary(), flag))
+
+web_report = evaluate_pattern_model(
+    fleet.lens_for("web").pattern_model, v2_web
+)
+assert web_report.coverage == 0.0  # v2 format is entirely new
+assert len(anomalies) == 2  # missing COMMIT + unknown appliance
+print("\nOK — per-source models, routed detection, drift surfaced.")

@@ -1,0 +1,103 @@
+"""Incident triage: multi-line crashes, pattern suggestions, severities.
+
+A realistic bad day: the monitored app starts throwing stack traces
+(multi-line records), a new log format ships mid-incident, and events
+start blowing past their learned durations.  This example shows the
+triage loop:
+
+1. the **line assembler** folds stack traces into single records so each
+   crash is one anomaly, not five;
+2. **pattern suggestion** drafts a GROK pattern for the new format from
+   its unparsed-log anomalies — the operator accepts it and the noise
+   stops;
+3. **severity grading** separates a mildly slow event (WARNING) from a
+   pathologically slow one (CRITICAL).
+
+Run:  python examples/incident_triage.py
+"""
+
+from repro import LogLens
+from repro.parsing import LineAssembler, suggest_pattern_from_examples
+
+# ----------------------------------------------------------------------
+# 1. Normal behaviour: a three-step job workflow.
+# ----------------------------------------------------------------------
+train = []
+for i in range(10):
+    jid = "job-%04d" % i
+    train += [
+        f"2016/05/09 09:{i:02d}:01 runner START job {jid} input 10.3.0.{i + 1}",
+        f"2016/05/09 09:{i:02d}:03 runner job {jid} progress {40 + i} pct",
+        f"2016/05/09 09:{i:02d}:05 runner FINISH job {jid} ok",
+    ]
+lens = LogLens().fit(train)
+
+# ----------------------------------------------------------------------
+# 2. The incident stream: a crash with a stack trace, two lines of a new
+#    v2 format, a slightly slow job, and a catastrophically slow job.
+# ----------------------------------------------------------------------
+incident_stream = [
+    "2016/05/09 10:00:01 runner START job job-7001 input 10.3.0.9",
+    "2016/05/09 10:00:03 runner job job-7001 progress 44 pct",
+    "2016/05/09 10:00:05 runner FINISH job job-7001 ok",
+    # Crash: one logical record spanning four physical lines.
+    "2016/05/09 10:00:06 runner CRASH while scheduling",
+    "Traceback (most recent call last):",
+    '  File "runner.py", line 42, in schedule',
+    "IndexError: pop from empty list",
+    # The canary deployment speaks a new v2 format.
+    "2016/05/09 10:00:07 runner-v2 dispatched unit u-77 shard 3",
+    "2016/05/09 10:00:08 runner-v2 dispatched unit u-78 shard 5",
+    # Slow jobs: learned duration is exactly 4s.
+    "2016/05/09 10:01:01 runner START job job-7002 input 10.3.0.9",
+    "2016/05/09 10:01:03 runner job job-7002 progress 41 pct",
+    "2016/05/09 10:01:06 runner FINISH job job-7002 ok",       # 5s: mild
+    "2016/05/09 10:02:01 runner START job job-7003 input 10.3.0.9",
+    "2016/05/09 10:02:03 runner job job-7003 progress 47 pct",
+    "2016/05/09 10:02:31 runner FINISH job job-7003 ok",       # 30s(!)
+]
+
+records = LineAssembler().assemble_all(incident_stream)
+print(
+    "Assembled %d physical lines into %d logical records"
+    % (len(incident_stream), len(records))
+)
+
+anomalies = lens.detect(records)
+print("\nTriage queue:")
+for anomaly in anomalies:
+    print(
+        "    sev=%-8s %-18s %s"
+        % (anomaly.severity.name, anomaly.type.value, anomaly.logs[0][:60])
+    )
+
+severities = {a.logs[0][:30]: a.severity.name for a in anomalies}
+
+# ----------------------------------------------------------------------
+# 3. Fix the noisy part: draft a pattern for the v2 format from its own
+#    anomaly examples and fold it into the model.
+# ----------------------------------------------------------------------
+v2_lines = [
+    a.logs[0] for a in anomalies if "runner-v2" in a.logs[0]
+]
+suggestion = suggest_pattern_from_examples(v2_lines)
+print("\nSuggested pattern for the new format:")
+print("   ", suggestion.to_string())
+
+editor = lens.edit_patterns()
+editor.add_pattern(suggestion.to_string())
+lens.apply_pattern_edits(editor)
+
+after = lens.detect(records)
+print(
+    "\nAnomalies before accepting the suggestion: %d, after: %d"
+    % (len(anomalies), len(after))
+)
+
+crash = [a for a in after if "CRASH" in a.logs[0]]
+slow = [a for a in after if a.type.value == "duration_violation"]
+assert len(crash) == 1 and "IndexError" in crash[0].logs[0]
+assert {a.severity.name for a in slow} == {"WARNING", "CRITICAL"}
+assert len(after) == len(anomalies) - len(v2_lines)
+print("\nOK — crash folded to one record, v2 noise silenced, slow jobs "
+      "graded by severity.")

@@ -1,0 +1,70 @@
+"""Quickstart: learn normal behaviour from logs, then detect anomalies.
+
+LogLens needs no log-format specification and no labels — just a batch of
+logs representing *correct* runs.  It discovers GROK patterns, learns the
+event automata hiding in the logs, and then flags everything that deviates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LogLens
+
+# ----------------------------------------------------------------------
+# 1. Training logs: ten normal "file transfer" events.  Note the three
+#    distinct log shapes and the shared transfer id linking them.
+# ----------------------------------------------------------------------
+training_logs = []
+for i in range(10):
+    tid = "tr-%04d" % i
+    training_logs += [
+        f"2016/05/09 10:{i:02d}:01 ftpd transfer {tid} started by 10.0.0.{i + 1}",
+        f"2016/05/09 10:{i:02d}:03 ftpd transfer {tid} moved {1000000 + i} bytes",
+        f"2016/05/09 10:{i:02d}:05 ftpd transfer {tid} completed cleanly",
+    ]
+
+lens = LogLens().fit(training_logs)
+
+print("Discovered GROK patterns:")
+for pattern in lens.patterns:
+    print("   ", pattern)
+
+print("\nLearned automata:", len(lens.sequence_model))
+automaton = lens.sequence_model.get(1)
+print(
+    "    begin states %s, end states %s, duration %d..%d ms"
+    % (
+        sorted(automaton.begin_states),
+        sorted(automaton.end_states),
+        automaton.min_duration_millis,
+        automaton.max_duration_millis,
+    )
+)
+
+# ----------------------------------------------------------------------
+# 2. Streaming logs: one normal event, one malformed line, and one
+#    transfer that never completes.
+# ----------------------------------------------------------------------
+streaming_logs = [
+    # Normal event: parses and satisfies the automaton.
+    "2016/05/09 11:00:01 ftpd transfer tr-9001 started by 10.0.0.99",
+    "2016/05/09 11:00:03 ftpd transfer tr-9001 moved 5000000 bytes",
+    "2016/05/09 11:00:05 ftpd transfer tr-9001 completed cleanly",
+    # Stateless anomaly: matches no discovered pattern.
+    "kernel: BUG unable to handle page fault at ffffffffc0401000",
+    # Stateful anomaly: starts and moves bytes but never completes.
+    "2016/05/09 11:02:01 ftpd transfer tr-9002 started by 10.0.0.50",
+    "2016/05/09 11:02:03 ftpd transfer tr-9002 moved 123456 bytes",
+]
+
+anomalies = lens.detect(streaming_logs)
+
+print("\nAnomalies found: %d" % len(anomalies))
+for anomaly in anomalies:
+    print(
+        "    [%s] %s" % (anomaly.type.value, anomaly.reason)
+    )
+    for line in anomaly.logs[:2]:
+        print("        evidence:", line)
+
+assert len(anomalies) == 2
+print("\nOK — one unparsed log, one incomplete transfer.")

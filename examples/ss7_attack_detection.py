@@ -1,0 +1,74 @@
+"""Discovering SS7 spoofing attacks — the paper's Section VII-B case study.
+
+A spoofing attacker probes subscriber credentials: the trace shows
+``InvokePurgeMs → InvokeSendAuthenticationInfo`` but never the closing
+``InvokeUpdateLocation``.  No single log is anomalous — only the
+*sequence* is, which is exactly what the stateful detector catches.
+LogLens learns the protocol automaton from two hours of normal traffic
+and flags every incomplete exchange in the test hour, with no SS7 domain
+knowledge whatsoever.
+
+Run:  python examples/ss7_attack_detection.py
+"""
+
+from repro import LogLens
+from repro.datasets import generate_ss7
+
+# ----------------------------------------------------------------------
+# 1. SS7 traffic: normal location updates plus attack bursts injected in
+#    four temporal clusters of the test hour (994 attacks, like the
+#    paper; scaled traffic volume).
+# ----------------------------------------------------------------------
+dataset = generate_ss7(
+    train_events=1500,
+    test_normal_events=800,
+    attack_count=994,
+    n_clusters=4,
+)
+print(
+    "SS7: %d training logs (2h), %d test logs (1h), %d hidden attacks"
+    % (len(dataset.train), len(dataset.test), dataset.attack_count)
+)
+print("Sample normal exchange:")
+for line in dataset.train[:3]:
+    print("   ", line)
+
+# ----------------------------------------------------------------------
+# 2. Learn the protocol automaton from normal traffic only.
+# ----------------------------------------------------------------------
+lens = LogLens().fit(dataset.train)
+automaton = lens.sequence_model.get(1)
+print(
+    "\nLearned SS7 automaton: %d states, begin=%s end=%s"
+    % (
+        len(automaton.states),
+        sorted(automaton.begin_states),
+        sorted(automaton.end_states),
+    )
+)
+
+# ----------------------------------------------------------------------
+# 3. Detect.  Every anomaly is an exchange that never reached
+#    InvokeUpdateLocation — the spoofing signature.
+# ----------------------------------------------------------------------
+anomalies = lens.detect(dataset.test)
+missing_end = [a for a in anomalies if a.type.value == "missing_end"]
+print("\nAnomalies reported: %d (attacks injected: %d)" % (
+    len(anomalies), dataset.attack_count
+))
+
+# Anomalies cluster in time, like the paper's Figure 6.
+print("\nTemporal clustering (anomalies per attack window):")
+for idx, (lo, hi) in enumerate(dataset.cluster_windows):
+    count = sum(
+        1 for a in anomalies if lo <= (a.timestamp_millis or 0) <= hi + 60_000
+    )
+    print("    window %d: %4d anomalies" % (idx + 1, count))
+
+example = missing_end[0]
+print("\nOne flagged exchange (no InvokeUpdateLocation):")
+for line in example.logs:
+    print("   ", line)
+
+assert len(anomalies) == dataset.attack_count
+print("\nOK — every spoofing attack found, zero false alarms.")

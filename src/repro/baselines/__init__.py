@@ -1,0 +1,20 @@
+"""Baselines the paper compares against (Logstash, linear timestamp scan)."""
+
+from .logstash import NaiveGrokParser, NaiveParserStats
+from .naive_timestamp import (
+    LinearScanTimestampDetector,
+    make_cache_only_detector,
+    make_filter_only_detector,
+    make_linear_scan_detector,
+    make_optimized_detector,
+)
+
+__all__ = [
+    "LinearScanTimestampDetector",
+    "NaiveGrokParser",
+    "NaiveParserStats",
+    "make_cache_only_detector",
+    "make_filter_only_detector",
+    "make_linear_scan_detector",
+    "make_optimized_detector",
+]

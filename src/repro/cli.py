@@ -1,0 +1,278 @@
+"""Command-line interface for the LogLens reproduction.
+
+Six subcommands cover the library's workflow from a shell::
+
+    loglens train   normal.log -o model.json      # unsupervised learning
+    loglens detect  stream.log -m model.json      # report anomalies
+    loglens inspect model.json                    # show patterns/automata
+    loglens parse   stream.log -m model.json      # structured parse output
+    loglens watch   app.log    -m model.json      # follow a live log file
+    loglens quality sample.log -m model.json      # drift check (coverage)
+
+``train`` reads raw lines (one log per line), discovers patterns, learns
+automata, and writes one JSON model file.  ``detect`` replays a stream
+through both detectors and prints one JSON document per anomaly.
+``watch`` tails a growing file through the full real-time service,
+printing anomalies as they are detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core.anomaly import Anomaly
+from .core.config import LogLensConfig
+from .core.pipeline import LogLens
+from .parsing.parser import ParsedLog
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_lines(path: str) -> List[str]:
+    if path == "-":
+        return [line.rstrip("\n") for line in sys.stdin if line.strip()]
+    text = Path(path).read_text()
+    return [line for line in text.splitlines() if line.strip()]
+
+
+def _make_lens(args: argparse.Namespace) -> LogLens:
+    config = LogLensConfig(
+        max_dist=args.max_dist,
+        heartbeats_enabled=not getattr(args, "no_heartbeat", False),
+    )
+    return LogLens(config)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loglens",
+        description="LogLens: real-time log analysis (ICDCS 2018 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser(
+        "train", help="learn models from normal-run logs"
+    )
+    train.add_argument("logs", help="training log file ('-' for stdin)")
+    train.add_argument(
+        "-o", "--output", default="model.json", help="model file to write"
+    )
+    train.add_argument(
+        "--max-dist", type=float, default=0.3,
+        help="clustering distance threshold (default 0.3)",
+    )
+
+    detect = sub.add_parser("detect", help="detect anomalies in a stream")
+    detect.add_argument("logs", help="streaming log file ('-' for stdin)")
+    detect.add_argument(
+        "-m", "--model", required=True, help="model file from 'train'"
+    )
+    detect.add_argument(
+        "--no-heartbeat", action="store_true",
+        help="disable end-of-stream expiry of open events (Figure 5 "
+             "'without heartbeat' mode)",
+    )
+    detect.add_argument(
+        "--source", default=None, help="source name stamped on anomalies"
+    )
+    detect.add_argument("--max-dist", type=float, default=0.3,
+                        help=argparse.SUPPRESS)
+
+    inspect = sub.add_parser(
+        "inspect", help="print a model's patterns and automata"
+    )
+    inspect.add_argument("model", help="model file from 'train'")
+
+    parse = sub.add_parser(
+        "parse", help="print structured JSON per parsed log line"
+    )
+    parse.add_argument("logs", help="log file ('-' for stdin)")
+    parse.add_argument("-m", "--model", required=True)
+    parse.add_argument("--max-dist", type=float, default=0.3,
+                       help=argparse.SUPPRESS)
+
+    watch = sub.add_parser(
+        "watch", help="follow a log file through the real-time service"
+    )
+    watch.add_argument("logfile", help="log file to tail")
+    watch.add_argument("-m", "--model", required=True)
+    watch.add_argument(
+        "--source", default=None,
+        help="source name (default: the file's stem)",
+    )
+    watch.add_argument(
+        "--poll-seconds", type=float, default=1.0,
+        help="file poll interval (default 1.0)",
+    )
+    watch.add_argument(
+        "--max-polls", type=int, default=None,
+        help="stop after N polls (default: run until interrupted)",
+    )
+    watch.add_argument(
+        "--from-beginning", action="store_true",
+        help="process the file's existing content too",
+    )
+    watch.add_argument("--max-dist", type=float, default=0.3,
+                       help=argparse.SUPPRESS)
+
+    quality = sub.add_parser(
+        "quality", help="report how well a model fits a log sample"
+    )
+    quality.add_argument("logs", help="sample log file ('-' for stdin)")
+    quality.add_argument("-m", "--model", required=True)
+    quality.add_argument(
+        "--min-coverage", type=float, default=0.95,
+        help="exit 1 when coverage falls below this (default 0.95)",
+    )
+    quality.add_argument("--max-dist", type=float, default=0.3,
+                         help=argparse.SUPPRESS)
+
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    lines = _read_lines(args.logs)
+    if not lines:
+        print("error: no training logs read", file=sys.stderr)
+        return 2
+    lens = _make_lens(args).fit(lines)
+    lens.save(args.output)
+    print(
+        "trained on %d logs: %d patterns, %d automata -> %s"
+        % (
+            len(lines),
+            len(lens.patterns),
+            len(lens.sequence_model),
+            args.output,
+        )
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    lens = _make_lens(args).load(args.model)
+    lines = _read_lines(args.logs)
+    anomalies = lens.detect(
+        lines,
+        flush_open_events=not args.no_heartbeat,
+        source=args.source,
+    )
+    for anomaly in anomalies:
+        print(json.dumps(anomaly.to_dict(), sort_keys=True))
+    print(
+        "%d logs analysed, %d anomalies" % (len(lines), len(anomalies)),
+        file=sys.stderr,
+    )
+    return 0 if not anomalies else 1
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    payload = json.loads(Path(args.model).read_text())
+    patterns = payload["pattern_model"]["patterns"]
+    print("patterns (%d):" % len(patterns))
+    for entry in patterns:
+        print("  P%-4d %s" % (entry["id"], entry["grok"]))
+    automata = payload["sequence_model"]["automata"]
+    print("automata (%d):" % len(automata))
+    for automaton in automata:
+        print(
+            "  A%-3d states=%s begin=%s end=%s duration=[%d, %d] ms"
+            % (
+                automaton["automaton_id"],
+                [s["pattern_id"] for s in automaton["states"]],
+                automaton["begin_states"],
+                automaton["end_states"],
+                automaton["min_duration_millis"],
+                automaton["max_duration_millis"],
+            )
+        )
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    lens = _make_lens(args).load(args.model)
+    unparsed = 0
+    for line in _read_lines(args.logs):
+        result = lens.parse(line)
+        if isinstance(result, ParsedLog):
+            print(json.dumps(result.to_dict(), sort_keys=True))
+        else:
+            unparsed += 1
+            print(json.dumps({"_unparsed": line}, sort_keys=True))
+    if unparsed:
+        print("%d unparsed lines" % unparsed, file=sys.stderr)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.agent import FileTailAgent
+
+    lens = _make_lens(args).load(args.model)
+    service = lens.to_service()
+    source = args.source or Path(args.logfile).stem
+    agent = FileTailAgent(
+        service.bus,
+        "logs.raw",
+        source,
+        args.logfile,
+        from_beginning=args.from_beginning,
+    )
+    reported = 0
+    polls = 0
+    try:
+        while args.max_polls is None or polls < args.max_polls:
+            polls += 1
+            agent.poll()
+            service.step()
+            docs = service.anomaly_storage.all()
+            for doc in docs[reported:]:
+                doc.pop("_id", None)
+                print(json.dumps(doc, sort_keys=True), flush=True)
+            reported = len(docs)
+            if args.max_polls is None or polls < args.max_polls:
+                time.sleep(args.poll_seconds)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    print(
+        "watched %d lines, %d anomalies" % (agent.shipped, reported),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from .parsing.quality import evaluate_pattern_model
+
+    lens = _make_lens(args).load(args.model)
+    lines = _read_lines(args.logs)
+    report = evaluate_pattern_model(lens.pattern_model, lines)
+    print(report.summary())
+    for example in report.unparsed_examples:
+        print("  unparsed:", example, file=sys.stderr)
+    return 0 if report.coverage >= args.min_coverage else 1
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "detect": _cmd_detect,
+    "inspect": _cmd_inspect,
+    "parse": _cmd_parse,
+    "watch": _cmd_watch,
+    "quality": _cmd_quality,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

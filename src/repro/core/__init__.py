@@ -1,0 +1,22 @@
+"""Core public API: the LogLens facade, configuration, anomaly model."""
+
+from .anomaly import Anomaly, AnomalyType, Severity
+from .clustering import AnomalyCluster, cluster_anomalies
+from .config import CustomDatatype, LogLensConfig
+from .evaluation import EvaluationResult, evaluate_detection
+from .multi import MultiSourceLogLens
+from .pipeline import LogLens
+
+__all__ = [
+    "Anomaly",
+    "AnomalyType",
+    "Severity",
+    "AnomalyCluster",
+    "cluster_anomalies",
+    "EvaluationResult",
+    "evaluate_detection",
+    "MultiSourceLogLens",
+    "CustomDatatype",
+    "LogLensConfig",
+    "LogLens",
+]

@@ -1,0 +1,100 @@
+"""Anomaly records shared by the stateless and stateful detectors.
+
+Every anomaly LogLens reports carries a type, severity, human-readable
+reason, the event timestamp, and the associated raw logs (paper, Section
+II-B, "Anomaly Storage").  The stateful types 1–4 follow Table II of the
+paper; the stateless parser contributes ``UNPARSED_LOG``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AnomalyType", "Severity", "Anomaly"]
+
+
+class AnomalyType(enum.Enum):
+    """Anomaly taxonomy (Table II plus the stateless parser anomaly)."""
+
+    #: A streaming log matched no discovered pattern (stateless).
+    UNPARSED_LOG = "unparsed_log"
+    #: Table II type 1 — event never opened with its begin state.
+    MISSING_BEGIN = "missing_begin"
+    #: Table II type 1 — event opened but its end state never arrived.
+    MISSING_END = "missing_end"
+    #: Table II type 2 — a required intermediate state is absent.
+    MISSING_INTERMEDIATE = "missing_intermediate"
+    #: Table II type 3 — an intermediate state occurred too few/many times.
+    OCCURRENCE_VIOLATION = "occurrence_violation"
+    #: Table II type 4 — event duration outside the learned min/max window.
+    DURATION_VIOLATION = "duration_violation"
+
+    @property
+    def paper_type(self) -> int:
+        """The 1–4 numbering of Table II (0 for the stateless anomaly)."""
+        return _PAPER_TYPE[self]
+
+
+_PAPER_TYPE = {
+    AnomalyType.UNPARSED_LOG: 0,
+    AnomalyType.MISSING_BEGIN: 1,
+    AnomalyType.MISSING_END: 1,
+    AnomalyType.MISSING_INTERMEDIATE: 2,
+    AnomalyType.OCCURRENCE_VIOLATION: 3,
+    AnomalyType.DURATION_VIOLATION: 4,
+}
+
+
+class Severity(enum.IntEnum):
+    """Coarse severity scale used by the anomaly storage and dashboard."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+    CRITICAL = 3
+
+
+@dataclass
+class Anomaly:
+    """One reported anomaly.
+
+    Attributes
+    ----------
+    type:
+        The :class:`AnomalyType`.
+    reason:
+        Human-readable explanation (shown on the dashboard).
+    timestamp_millis:
+        Event time (log time, *not* wall-clock) the anomaly refers to.
+    logs:
+        Raw log lines that evidence the anomaly.
+    source:
+        Log source the anomaly belongs to, when known.
+    severity:
+        Defaults to :attr:`Severity.WARNING`.
+    details:
+        Free-form structured context (event id, automaton id, rule...).
+    """
+
+    type: AnomalyType
+    reason: str
+    timestamp_millis: Optional[int] = None
+    logs: List[str] = field(default_factory=list)
+    source: Optional[str] = None
+    severity: Severity = Severity.WARNING
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (anomaly storage document)."""
+        return {
+            "type": self.type.value,
+            "paper_type": self.type.paper_type,
+            "severity": int(self.severity),
+            "reason": self.reason,
+            "timestamp_millis": self.timestamp_millis,
+            "logs": list(self.logs),
+            "source": self.source,
+            "details": dict(self.details),
+        }

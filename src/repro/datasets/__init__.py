@@ -1,0 +1,58 @@
+"""Synthetic, shape-matched stand-ins for the paper's datasets (Table III).
+
+See DESIGN.md for the substitution rationale.  Event datasets (D1, D2,
+SS7) carry exact anomaly ground truth; corpora (D3–D6, SQL) reproduce the
+pattern-count knob driving the parser experiments.
+"""
+
+from .base import (
+    BASE_TIME_MILLIS,
+    CorpusDataset,
+    EventDataset,
+    EventStreamGenerator,
+    InjectedAnomaly,
+    StateSpec,
+    TemplateCorpus,
+    WorkflowSpec,
+    render_timestamp,
+)
+from .loader import read_log_file, split_by_time, split_train_test
+from .corpora import (
+    generate_corpus,
+    generate_d3,
+    generate_d4,
+    generate_d5,
+    generate_d6,
+)
+from .sql_app import generate_sql_app
+from .ss7 import SS7Dataset, generate_ss7, make_ss7_workflow
+from .synthetic import D2_ANOMALY_PLAN, generate_d2
+from .trace import D1_ANOMALY_PLAN, generate_d1
+
+__all__ = [
+    "BASE_TIME_MILLIS",
+    "CorpusDataset",
+    "EventDataset",
+    "EventStreamGenerator",
+    "InjectedAnomaly",
+    "StateSpec",
+    "TemplateCorpus",
+    "WorkflowSpec",
+    "render_timestamp",
+    "read_log_file",
+    "split_by_time",
+    "split_train_test",
+    "generate_corpus",
+    "generate_d3",
+    "generate_d4",
+    "generate_d5",
+    "generate_d6",
+    "generate_sql_app",
+    "SS7Dataset",
+    "generate_ss7",
+    "make_ss7_workflow",
+    "D2_ANOMALY_PLAN",
+    "generate_d2",
+    "D1_ANOMALY_PLAN",
+    "generate_d1",
+]

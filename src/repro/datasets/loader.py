@@ -1,0 +1,83 @@
+"""Utilities for feeding user-supplied log files into LogLens.
+
+The generators in this package synthesise the paper's datasets; real
+deployments start from files on disk.  These helpers cover the common
+chores: reading log files (skipping blanks), splitting a normal-run
+capture into train/validation halves, and chronological splits by
+embedded timestamp (the SS7 case study's "first two hours train, third
+hour tests" shape).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..parsing.timestamps import TimestampDetector
+
+__all__ = ["read_log_file", "split_train_test", "split_by_time"]
+
+
+def read_log_file(
+    path: Union[str, Path],
+    encoding: str = "utf-8",
+    max_lines: Optional[int] = None,
+) -> List[str]:
+    """Read raw log lines from a file, skipping blank lines.
+
+    Undecodable bytes are replaced rather than raised — production logs
+    are rarely clean UTF-8 end to end.
+    """
+    out: List[str] = []
+    with Path(path).open("r", encoding=encoding, errors="replace") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            out.append(line)
+            if max_lines is not None and len(out) >= max_lines:
+                break
+    return out
+
+
+def split_train_test(
+    logs: Sequence[str], train_fraction: float = 0.5
+) -> Tuple[List[str], List[str]]:
+    """Split a capture into leading-train / trailing-test parts.
+
+    The split is positional, never shuffled: event logs are ordered, and
+    shuffling would tear events apart.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(len(logs) * train_fraction)
+    return list(logs[:cut]), list(logs[cut:])
+
+
+def split_by_time(
+    logs: Sequence[str],
+    cutoff_millis: int,
+    detector: Optional[TimestampDetector] = None,
+) -> Tuple[List[str], List[str]]:
+    """Split logs at a log-time cutoff (train: before; test: at/after).
+
+    Lines without a recognisable timestamp inherit the side of the most
+    recent stamped line (log files are chronologically appended, so an
+    unstamped continuation line belongs with its neighbours).
+    """
+    detector = detector if detector is not None else TimestampDetector()
+    before: List[str] = []
+    after: List[str] = []
+    current = before
+    for raw in logs:
+        tokens = raw.split()
+        ts = None
+        for start in range(min(3, len(tokens))):
+            match = detector.identify(tokens, start)
+            if match is not None:
+                ts = match.epoch_millis
+                break
+        if ts is not None:
+            current = after if ts >= cutoff_millis else before
+        current.append(raw)
+    return before, after

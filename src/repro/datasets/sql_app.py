@@ -1,0 +1,129 @@
+"""Custom SQL application logs — the Section VII-A case study.
+
+The paper's first case study analyses logs of a custom application that
+records SQL queries (Table VI shows samples: deeply nested SELECTs with
+variable-length WHERE clauses).  Users needed **one week** to hand-write
+parsing patterns; LogLens generated **367 patterns in 50 seconds**
+(a 12,096x man-hour reduction).
+
+This generator reproduces the workload shape: a query-log corpus whose
+lines share a fixed prefix (``(0): Func():2[...] SQL SELECT TABLE: ...
+WHERE: ...``) but vary enormously in clause structure.  Structure
+diversity is controlled by ``n_structures`` (default 367, the paper's
+discovered pattern count); each structure is a distinct combination of
+clause forms and lengths, so discovery lands near that many patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .base import CorpusDataset
+
+__all__ = ["generate_sql_app"]
+
+_FUNCS = (
+    "GetFormControl", "GetObjects", "GetFormData", "GetPermissions",
+    "GetMembership", "GetContent", "GetInstance",
+)
+_TABLES = (
+    "tblFormControl", "tblContent", "tblFormData", "tblFormInstance",
+    "tblPerm", "tblMembership",
+)
+_COLUMNS = (
+    "oFCID", "oPID", "oID", "oFORMINSTID", "oFORMID", "oGrantID",
+    "oParent", "oChild", "nType", "nSubType", "nVersion", "fRead",
+)
+
+_CLAUSE_FORMS = (
+    "uuid_eq",      # col = '<uuid>'
+    "num_eq",       # col = <n>
+    "num_ne",       # col != <n>
+    "null_check",   # col IS NOT NULL
+    "subselect",    # col IN ( SELECT col FROM tbl WHERE col = '<uuid>' )
+)
+
+
+def _rand_uuid(rng: random.Random) -> str:
+    return "%08x-%04x-%04x-%04x-%012x" % (
+        rng.getrandbits(32),
+        rng.getrandbits(16),
+        rng.getrandbits(16),
+        rng.getrandbits(16),
+        rng.getrandbits(48),
+    )
+
+
+def _render_clause(form: str, col: str, rng: random.Random) -> str:
+    if form == "uuid_eq":
+        return "%s = '%s'" % (col, _rand_uuid(rng))
+    if form == "num_eq":
+        return "%s = %d" % (col, rng.randint(1_000_000, 9_999_999))
+    if form == "num_ne":
+        return "%s != %d" % (col, rng.randint(1_000_000, 9_999_999))
+    if form == "null_check":
+        return "%s IS NOT NULL" % col
+    return "%s IN ( SELECT %s FROM %s WHERE %s = '%s' )" % (
+        col,
+        rng.choice(_COLUMNS),
+        rng.choice(_TABLES),
+        rng.choice(_COLUMNS),
+        _rand_uuid(rng),
+    )
+
+
+def generate_sql_app(
+    n_structures: int = 367,
+    logs_per_structure: int = 4,
+    seed: int = 67,
+) -> CorpusDataset:
+    """Generate the SQL-application query-log corpus.
+
+    Each *structure* fixes a function name, a table, and an ordered list
+    of clause forms over fixed columns; rendering draws fresh literal
+    values.  Lines of one structure therefore cluster into one pattern.
+    """
+    rng = random.Random(seed)
+    # Pre-draw the distinct structures.
+    structures: List[Tuple[str, str, List[Tuple[str, str]]]] = []
+    seen = set()
+    while len(structures) < n_structures:
+        func = rng.choice(_FUNCS)
+        table = rng.choice(_TABLES)
+        n_clauses = rng.randint(1, 14)
+        forms = tuple(
+            (rng.choice(_CLAUSE_FORMS), rng.choice(_COLUMNS))
+            for _ in range(n_clauses)
+        )
+        key = (func, table, forms)
+        if key in seen:
+            continue
+        seen.add(key)
+        structures.append((func, table, list(forms)))
+    logs: List[str] = []
+    for func, table, forms in structures:
+        for _ in range(logs_per_structure):
+            clauses = " AND ".join(
+                _render_clause(form, col, rng) for form, col in forms
+            )
+            day = rng.randint(10, 28)
+            logs.append(
+                "(0): %s():2[%d 21:%02d:%02d] SQL SELECT TABLE: %s "
+                "WHERE: %s"
+                % (
+                    func,
+                    day,
+                    rng.randint(0, 59),
+                    rng.randint(0, 59),
+                    table,
+                    clauses,
+                )
+            )
+    rng.shuffle(logs)
+    return CorpusDataset(
+        name="sql-app",
+        train=logs,
+        test=list(logs),
+        template_count=n_structures,
+    )

@@ -1,0 +1,156 @@
+"""Dataset D2 — synthetic heterogeneous event logs (paper, Table III).
+
+D2 is the paper's synthetic dataset: 18,000 training and 18,000 testing
+logs, **13 anomalous sequences**, of which **three** are missing end
+states only detectable with the heartbeat controller (Figure 5: 10
+without HB, 13 with HB).  Its model has **three automata** (Table V);
+deleting one drops the anomaly count from 13 to 9 — the deleted automaton
+carried 4 anomalies and none of the heartbeat-only ones.
+
+Three workflows reproduce those counts:
+
+* ``db-transaction`` — 5 anomalies, 2 heartbeat-only;
+* ``batch-job``      — 4 anomalies, 1 heartbeat-only;
+* ``user-session``   — 4 anomalies, 0 heartbeat-only (the Table V
+  deletion target).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .base import (
+    BASE_TIME_MILLIS,
+    EventDataset,
+    EventStreamGenerator,
+    StateSpec,
+    WorkflowSpec,
+)
+
+__all__ = ["make_workflows", "generate_d2"]
+
+
+def _rand_big(rng: random.Random) -> str:
+    return str(rng.randint(10_000_000, 99_999_999))
+
+
+def _rand_table(rng: random.Random) -> str:
+    return rng.choice(
+        ("tblOrders", "tblUsers", "tblInvoices", "tblAudit", "tblStock")
+    )
+
+
+def _rand_node(rng: random.Random) -> str:
+    return "worker-%02d" % rng.randint(1, 16)
+
+
+def make_workflows() -> List[WorkflowSpec]:
+    """The three D2 event workflows (→ three automata)."""
+    db_transaction = WorkflowSpec(
+        name="db-transaction",
+        id_prefix="txn",
+        begin=StateSpec(
+            "{ts} dbserver BEGIN txn {eid} isolation snapshot client {big}",
+            fillers={"big": _rand_big},
+        ),
+        middles=[
+            StateSpec(
+                "{ts} dbserver txn {eid} UPDATE {table} rows {big}",
+                repeat=(1, 3),
+                fillers={"table": _rand_table, "big": _rand_big},
+            ),
+        ],
+        end=StateSpec("{ts} dbserver COMMIT txn {eid} ok"),
+        gap_choices_millis=(200, 400, 800),
+    )
+    batch_job = WorkflowSpec(
+        name="batch-job",
+        id_prefix="job",
+        begin=StateSpec(
+            "{ts} scheduler submit job {eid} queue default priority {big}",
+            fillers={"big": _rand_big},
+        ),
+        middles=[
+            StateSpec(
+                "{ts} executor node {node} running stage of job {eid} "
+                "bytes {big}",
+                repeat=(2, 4),
+                fillers={"node": _rand_node, "big": _rand_big},
+            ),
+            StateSpec(
+                "{ts} shuffle-service merged partitions for job {eid} "
+                "spill {big}",
+                repeat=(1, 1),
+                fillers={"big": _rand_big},
+            ),
+        ],
+        end=StateSpec("{ts} scheduler job {eid} FINISHED exit code zero"),
+        gap_choices_millis=(1000, 2000, 4000),
+    )
+    user_session = WorkflowSpec(
+        name="user-session",
+        id_prefix="sess",
+        begin=StateSpec(
+            "{ts} auth-gateway session {eid} opened via token {big}",
+            fillers={"big": _rand_big},
+        ),
+        middles=[
+            StateSpec(
+                "{ts} app-frontend session {eid} page view counter {big}",
+                repeat=(1, 5),
+                fillers={"big": _rand_big},
+            ),
+        ],
+        end=StateSpec("{ts} auth-gateway session {eid} logged out cleanly"),
+        gap_choices_millis=(500, 1000, 2000),
+    )
+    return [db_transaction, batch_job, user_session]
+
+
+#: Anomaly plan reproducing Figures 4/5 and Table V for D2.
+D2_ANOMALY_PLAN: Dict[str, List[str]] = {
+    "db-transaction": (
+        ["missing_end"] * 2
+        + ["missing_intermediate", "occurrence_violation",
+           "duration_violation"]
+    ),  # 5 anomalies, 2 heartbeat-only
+    "batch-job": (
+        ["missing_end"]
+        + ["missing_intermediate", "occurrence_violation",
+           "duration_violation"]
+    ),  # 4 anomalies, 1 heartbeat-only
+    "user-session": [
+        "missing_intermediate",
+        "occurrence_violation",
+        "duration_violation",
+        "missing_begin",
+    ],  # 4 anomalies, 0 heartbeat-only — the Table V deletion target
+}
+
+
+def generate_d2(
+    events_per_workflow: int = 1200, seed: int = 23
+) -> EventDataset:
+    """Generate D2 at the paper's scale (~18k train / ~18k test logs)."""
+    workflows = make_workflows()
+    gen = EventStreamGenerator(seed=seed)
+    train, _ = gen.generate_stream(
+        workflows,
+        events_per_workflow=events_per_workflow,
+        start_millis=BASE_TIME_MILLIS,
+    )
+    one_hour = 3_600_000
+    test, injected = gen.generate_stream(
+        workflows,
+        events_per_workflow=events_per_workflow,
+        start_millis=BASE_TIME_MILLIS + one_hour,
+        anomalies=D2_ANOMALY_PLAN,
+    )
+    return EventDataset(
+        name="D2",
+        train=train,
+        test=test,
+        injected=injected,
+        workflows=workflows,
+    )

@@ -1,0 +1,99 @@
+"""Field-ID assignment and heuristic semantic renaming.
+
+After clustering, every variable field receives a two-part generated ID
+(paper, Section III-A3): ``P<i>F<j>`` where ``i`` is the 1-based pattern id
+and ``j`` the 1-based field position within that pattern.
+
+Because generic names make parsed output hard to read, LogLens additionally
+applies renaming heuristics that exploit ``key = value`` / ``key: value``
+shapes commonly found in logs — e.g. ``PDU = %{NUMBER:P1F1}`` is renamed to
+``PDU = %{NUMBER:PDU}`` automatically (paper, Section III-A4).  Only when no
+heuristic applies does the generic name survive.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from .grok import Field, GrokPattern, Literal
+
+__all__ = ["assign_field_ids", "heuristic_rename", "generic_field_name"]
+
+_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*\Z")
+
+
+def generic_field_name(pattern_id: int, field_index: int) -> str:
+    """The generated name for field ``field_index`` of pattern ``pattern_id``
+    (both 1-based): ``P<i>F<j>``."""
+    return "P%dF%d" % (pattern_id, field_index)
+
+
+def assign_field_ids(patterns: Sequence[GrokPattern]) -> List[GrokPattern]:
+    """Assign pattern ids 1..m and generic ``P<i>F<j>`` field names.
+
+    Returns new :class:`GrokPattern` objects; inputs are not mutated.
+    """
+    out: List[GrokPattern] = []
+    for p_idx, pattern in enumerate(patterns, start=1):
+        field_idx = 0
+        elements = []
+        for elem in pattern.elements:
+            if isinstance(elem, Field):
+                field_idx += 1
+                elements.append(
+                    Field(elem.datatype, generic_field_name(p_idx, field_idx))
+                )
+            else:
+                elements.append(elem)
+        out.append(
+            GrokPattern(elements, pattern_id=p_idx, registry=pattern.registry)
+        )
+    return out
+
+
+def heuristic_rename(pattern: GrokPattern) -> GrokPattern:
+    """Rename generic fields using ``key = value`` / ``key: value`` shapes.
+
+    For a field element, the heuristics examine the preceding literal
+    tokens:
+
+    * ``KEY = %{...}`` or ``KEY : %{...}`` → field named ``KEY``;
+    * ``KEY= %{...}`` / ``KEY: %{...}`` (separator glued to the key) →
+      field named ``KEY``;
+    * ``KEY=%{...}`` cannot occur (tokens are whitespace-split), so no
+      further shape is needed.
+
+    A rename is skipped when it would collide with another field name in
+    the same pattern.  Returns a new pattern; the input is not mutated.
+    """
+    taken = {e.name for e in pattern.elements if isinstance(e, Field)}
+    elements = list(pattern.elements)
+    for idx, elem in enumerate(elements):
+        if not isinstance(elem, Field):
+            continue
+        candidate = _candidate_name(elements, idx)
+        if candidate and candidate not in taken:
+            taken.discard(elem.name)
+            taken.add(candidate)
+            elements[idx] = Field(elem.datatype, candidate)
+    return GrokPattern(
+        elements, pattern_id=pattern.pattern_id, registry=pattern.registry
+    )
+
+
+def _candidate_name(elements: List, idx: int) -> Optional[str]:
+    prev = elements[idx - 1] if idx >= 1 else None
+    prev2 = elements[idx - 2] if idx >= 2 else None
+    if isinstance(prev, Literal):
+        text = prev.text
+        if text in ("=", ":") and isinstance(prev2, Literal):
+            return _clean(prev2.text)
+        if text.endswith(("=", ":")) and len(text) > 1:
+            return _clean(text[:-1])
+    return None
+
+
+def _clean(name: str) -> Optional[str]:
+    name = name.strip("[](){}<>\"',;")
+    return name if _NAME_RE.match(name) else None

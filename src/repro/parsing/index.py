@@ -1,0 +1,139 @@
+"""The candidate-pattern-group hash index.
+
+The naive parser compares every log against every pattern: O(m·n) for m
+patterns and n logs.  LogLens reduces the amortised per-log cost to O(1)
+with a hash index keyed by *log-signature* (paper, Section III-B):
+
+1. **Finding** — compute the log's signature and probe the index.
+2. **Building** — on a miss, compare the signature against every
+   pattern-signature with Algorithm 1, collect all candidates, sort them
+   most-specific-first (ascending datatype generality, then token length),
+   and memoise the group — even when it is empty, so repeated unparseable
+   shapes stay O(1).
+3. **Scanning** — try the group's patterns in order until one parses the
+   log.
+
+Because distinct log *shapes* are few (thousands) while logs are many
+(millions), almost every probe is a hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .datatypes import DatatypeRegistry, DEFAULT_REGISTRY
+from .grok import GrokPattern
+from .matcher import is_matched
+from .tokenizer import TokenizedLog
+
+__all__ = ["IndexStats", "PatternIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Operational counters (exposed for the scaling ablation bench)."""
+
+    lookups: int = 0
+    group_hits: int = 0
+    group_builds: int = 0
+    signature_comparisons: int = 0
+    pattern_scans: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.group_hits = 0
+        self.group_builds = 0
+        self.signature_comparisons = 0
+        self.pattern_scans = 0
+
+
+class PatternIndex:
+    """Signature-keyed index over a fixed set of GROK patterns.
+
+    The index is cheap to construct (pattern signatures are computed
+    lazily and groups are built on demand), so model updates simply build
+    a fresh index — this is what gets rebroadcast to streaming workers.
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[GrokPattern],
+        registry: Optional[DatatypeRegistry] = None,
+    ) -> None:
+        self.patterns: List[GrokPattern] = list(patterns)
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._groups: Dict[str, List[GrokPattern]] = {}
+        self.stats = IndexStats()
+        # Group building only needs to compare signatures of compatible
+        # length: a wildcard-free pattern of k tokens can never parse a
+        # log of a different length.  Wildcard patterns match any length
+        # and are checked for every build.
+        self._by_length: Optional[Dict[int, List[GrokPattern]]] = None
+        self._wildcards: List[GrokPattern] = []
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, log: TokenizedLog
+    ) -> Optional[Tuple[GrokPattern, Dict[str, str]]]:
+        """Parse ``log``; return ``(pattern, fields)`` or ``None``.
+
+        ``None`` means no discovered pattern parses the log — the caller
+        reports it as a stateless anomaly.
+        """
+        self.stats.lookups += 1
+        signature = log.signature
+        group = self._groups.get(signature)
+        if group is None:
+            group = self._build_group(signature)
+        else:
+            self.stats.group_hits += 1
+        for pattern in group:
+            self.stats.pattern_scans += 1
+            fields = pattern.match(log)
+            if fields is not None:
+                return pattern, fields
+        return None
+
+    def candidate_group(self, log: TokenizedLog) -> List[GrokPattern]:
+        """The candidate-pattern-group for ``log`` (built if necessary)."""
+        signature = log.signature
+        group = self._groups.get(signature)
+        if group is None:
+            group = self._build_group(signature)
+        return list(group)
+
+    # ------------------------------------------------------------------
+    def _build_group(self, signature: str) -> List[GrokPattern]:
+        self.stats.group_builds += 1
+        if self._by_length is None:
+            self._index_by_length()
+        assert self._by_length is not None
+        length = len(signature.split())
+        candidates: List[GrokPattern] = []
+        for pattern in self._by_length.get(length, []):
+            self.stats.signature_comparisons += 1
+            if is_matched(signature, pattern.signature(), self.registry):
+                candidates.append(pattern)
+        for pattern in self._wildcards:
+            self.stats.signature_comparisons += 1
+            if is_matched(signature, pattern.signature(), self.registry):
+                candidates.append(pattern)
+        candidates.sort(key=GrokPattern.generality_key)
+        # Empty groups are memoised too: a recurring unparseable shape
+        # must not trigger a full rescan per log.
+        self._groups[signature] = candidates
+        return candidates
+
+    def _index_by_length(self) -> None:
+        self._by_length = {}
+        self._wildcards = []
+        for pattern in self.patterns:
+            if pattern.has_wildcard:
+                self._wildcards.append(pattern)
+            else:
+                length = len(pattern.elements)
+                self._by_length.setdefault(length, []).append(pattern)

@@ -1,0 +1,34 @@
+"""Signature helpers shared by the matcher and the pattern index.
+
+A *log-signature* concatenates the datatypes of a log's tokens; a
+*pattern-signature* concatenates the datatypes of a pattern's elements
+(fields contribute their declared type, literals the type of their present
+value).  Two logs with the same signature are parseable by exactly the same
+candidate patterns, which is what makes the signature a useful hash-index
+key (paper, Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .grok import GrokPattern
+from .tokenizer import TokenizedLog
+
+__all__ = ["log_signature", "pattern_signature", "split_signature"]
+
+
+def log_signature(log: TokenizedLog) -> str:
+    """Datatype concatenation of a tokenized log, e.g.
+    ``"DATETIME IP WORD NOTSPACE"``."""
+    return log.signature
+
+
+def pattern_signature(pattern: GrokPattern) -> str:
+    """Datatype concatenation of a GROK pattern (cached on the pattern)."""
+    return pattern.signature()
+
+
+def split_signature(signature: str) -> List[str]:
+    """Split a signature string back into its datatype tokens."""
+    return signature.split()

@@ -1,0 +1,197 @@
+"""Log preprocessing: tokenization, sub-token splitting, datatype tagging.
+
+The LogLens preprocessing pipeline (paper, Section III-A1/A2):
+
+1. split a raw log into tokens on a configurable delimiter set (default:
+   whitespace);
+2. apply user-provided RegEx *split rules* that break one token into several
+   (``"123KB"`` → ``"123"``, ``"KB"``);
+3. identify multi-token timestamps, merge them into a single canonical
+   ``DATETIME`` token, and remember the log's event time;
+4. tag every token with its most specific datatype.
+
+The result — a :class:`TokenizedLog` — is the common currency of pattern
+discovery (:mod:`repro.parsing.logmine`) and fast parsing
+(:mod:`repro.parsing.parser`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .datatypes import DEFAULT_REGISTRY, DatatypeRegistry
+from .timestamps import TimestampDetector
+
+__all__ = ["Token", "TokenizedLog", "SplitRule", "Tokenizer"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token of a preprocessed log: its text and inferred datatype."""
+
+    text: str
+    datatype: str
+
+
+@dataclass
+class TokenizedLog:
+    """A fully preprocessed log line.
+
+    Attributes
+    ----------
+    raw:
+        The original log line.
+    tokens:
+        Datatype-tagged tokens, timestamps already merged and canonicalised.
+    timestamp_millis:
+        Event time from the first identified timestamp (epoch millis), or
+        ``None`` when the log carries no recognisable timestamp.
+    """
+
+    raw: str
+    tokens: List[Token]
+    timestamp_millis: Optional[int] = None
+
+    @property
+    def signature(self) -> str:
+        """The log-signature: concatenated datatypes (paper, Section III-B)."""
+        return " ".join(t.datatype for t in self.tokens)
+
+    @property
+    def texts(self) -> List[str]:
+        return [t.text for t in self.tokens]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class SplitRule:
+    """A user rule splitting one token into sub-tokens via capture groups.
+
+    The paper's example rule ``"[0-9]+KB" => "[0-9]+ KB"`` is expressed here
+    as ``SplitRule(r"([0-9]+)(KB)")``: when the pattern fully matches a
+    token, the capture groups become the sub-tokens.
+    """
+
+    def __init__(self, pattern: str) -> None:
+        self._regex = re.compile(pattern)
+        if self._regex.groups < 2:
+            raise ValueError(
+                "split rule %r needs at least two capture groups" % pattern
+            )
+        self.pattern = pattern
+
+    def apply(self, token: str) -> Optional[List[str]]:
+        """Return sub-tokens when the rule matches, else ``None``."""
+        m = self._regex.fullmatch(token)
+        if m is None:
+            return None
+        parts = [g for g in m.groups() if g]
+        return parts if len(parts) >= 2 else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SplitRule(%r)" % self.pattern
+
+
+class Tokenizer:
+    """Configurable preprocessing front-end.
+
+    Parameters
+    ----------
+    delimiters:
+        Characters to split on; default is all whitespace.
+    split_rules:
+        :class:`SplitRule` instances applied to each token, first match wins.
+    registry:
+        Datatype registry used for tagging.
+    timestamp_detector:
+        Detector used to merge and canonicalise timestamps; pass ``None``
+        to disable timestamp identification entirely.
+    """
+
+    def __init__(
+        self,
+        delimiters: Optional[str] = None,
+        split_rules: Optional[Sequence[SplitRule]] = None,
+        registry: Optional[DatatypeRegistry] = None,
+        timestamp_detector: Optional[TimestampDetector] = "default",  # type: ignore[assignment]
+    ) -> None:
+        self.delimiters = delimiters
+        if delimiters:
+            self._splitter = re.compile("[%s]+" % re.escape(delimiters))
+        else:
+            self._splitter = None
+        self.split_rules = list(split_rules or [])
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        if timestamp_detector == "default":
+            self.timestamp_detector: Optional[TimestampDetector] = (
+                TimestampDetector()
+            )
+        else:
+            self.timestamp_detector = timestamp_detector
+        # Datatype inference memo: literal vocabulary repeats massively
+        # across logs, so most tokens hit the memo.  Bounded to keep
+        # long-running streams from growing it without limit.
+        self._infer_memo: dict = {}
+        self._infer_memo_cap = 200_000
+
+    # ------------------------------------------------------------------
+    def tokenize(self, raw: str) -> TokenizedLog:
+        """Preprocess one raw log line into a :class:`TokenizedLog`."""
+        texts = self._split(raw)
+        texts = self._apply_split_rules(texts)
+        tokens, ts_millis = self._merge_timestamps(texts)
+        return TokenizedLog(raw=raw, tokens=tokens, timestamp_millis=ts_millis)
+
+    def tokenize_many(self, raw_logs: Sequence[str]) -> List[TokenizedLog]:
+        """Preprocess a batch of raw log lines."""
+        return [self.tokenize(line) for line in raw_logs]
+
+    # ------------------------------------------------------------------
+    def _split(self, raw: str) -> List[str]:
+        if self._splitter is None:
+            return raw.split()
+        return [t for t in self._splitter.split(raw) if t]
+
+    def _apply_split_rules(self, texts: List[str]) -> List[str]:
+        if not self.split_rules:
+            return texts
+        out: List[str] = []
+        for text in texts:
+            for rule in self.split_rules:
+                parts = rule.apply(text)
+                if parts is not None:
+                    out.extend(parts)
+                    break
+            else:
+                out.append(text)
+        return out
+
+    def _merge_timestamps(
+        self, texts: List[str]
+    ) -> Tuple[List[Token], Optional[int]]:
+        tokens: List[Token] = []
+        ts_millis: Optional[int] = None
+        i = 0
+        n = len(texts)
+        detector = self.timestamp_detector
+        while i < n:
+            if detector is not None:
+                match = detector.identify(texts, i)
+                if match is not None:
+                    tokens.append(Token(match.normalized, "DATETIME"))
+                    if ts_millis is None:
+                        ts_millis = match.epoch_millis
+                    i += match.tokens_consumed
+                    continue
+            text = texts[i]
+            datatype = self._infer_memo.get(text)
+            if datatype is None:
+                datatype = self.registry.infer(text)
+                if len(self._infer_memo) < self._infer_memo_cap:
+                    self._infer_memo[text] = datatype
+            tokens.append(Token(text, datatype))
+            i += 1
+        return tokens, ts_millis

@@ -1,0 +1,29 @@
+"""Stateful log sequence anomaly detection (paper, Section IV).
+
+Pipeline: parsed logs → :class:`~repro.sequence.id_discovery.IdFieldDiscovery`
+→ :class:`~repro.sequence.learner.SequenceModelLearner` →
+:class:`~repro.sequence.model.SequenceModel` →
+:class:`~repro.sequence.detector.LogSequenceDetector`.
+"""
+
+from .automata import Automaton, StateRule
+from .detector import DetectorStats, LogSequenceDetector, OpenEvent
+from .id_discovery import IdFieldDiscovery, IdFieldGroup
+from .learner import SequenceModelLearner, TrainingEvent
+from .model import SequenceModel
+from .severity import DefaultSeverityPolicy, SeverityPolicy
+
+__all__ = [
+    "Automaton",
+    "StateRule",
+    "DetectorStats",
+    "LogSequenceDetector",
+    "OpenEvent",
+    "IdFieldDiscovery",
+    "IdFieldGroup",
+    "SequenceModelLearner",
+    "TrainingEvent",
+    "SequenceModel",
+    "DefaultSeverityPolicy",
+    "SeverityPolicy",
+]

@@ -1,0 +1,186 @@
+"""Automatic event ID field discovery (paper, Section IV-A1).
+
+An *event* (a VM boot, a database transaction, an SS7 exchange...) emits
+several logs, possibly under different patterns, that share an identifier
+value.  LogLens discovers which parsed field carries that identifier
+without supervision, using a variant of the Apriori technique:
+
+1. **Reverse index** — every field content value maps to the set of
+   ``(pattern id, field name)`` pairs it appeared under, plus how many logs
+   carried it.
+2. **ID field discovery** — content values whose pair-sets *recur* are
+   candidate event links; each distinct pair-set that satisfies the support
+   constraints becomes an :class:`IdFieldGroup` (the paper's "list").  A
+   group covering *all* patterns in the training logs is the global event
+   ID field; with heterogeneous workflows, each maximal group yields one
+   automaton.
+
+High-frequency, low-cardinality fields (status codes, levels) are rejected
+by the ``max_logs_per_content`` constraint: a true event ID links a small
+bounded set of logs, whereas ``"200"`` links thousands.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..parsing.parser import ParsedLog
+
+__all__ = ["IdFieldGroup", "IdFieldDiscovery"]
+
+PairSet = FrozenSet[Tuple[int, str]]
+
+#: The parser unifies every timestamp into the canonical format, so any
+#: field holding a canonical timestamp is a time field — never an event
+#: identifier.  Two concurrent logs sharing a millisecond must not be
+#: linked into a phantom event.
+_CANONICAL_TS_RE = re.compile(
+    r"[0-9]{4}/[0-9]{2}/[0-9]{2} "
+    r"[0-9]{2}:[0-9]{2}:[0-9]{2}\.[0-9]{3}\Z"
+)
+
+
+@dataclass(frozen=True)
+class IdFieldGroup:
+    """One discovered event ID field: which field links which patterns.
+
+    Attributes
+    ----------
+    fields:
+        Mapping ``pattern id → field name`` holding the event ID in logs of
+        that pattern.
+    support:
+        Number of distinct content values that exhibited exactly this
+        pair-set during discovery (higher = stronger evidence).
+    covers_all_patterns:
+        True when the group spans every pattern seen in training — the
+        paper's primary acceptance test.
+    """
+
+    fields: Tuple[Tuple[int, str], ...]
+    support: int
+    covers_all_patterns: bool
+
+    @property
+    def pattern_ids(self) -> FrozenSet[int]:
+        return frozenset(pid for pid, _ in self.fields)
+
+    def field_for(self, pattern_id: int) -> Optional[str]:
+        """The ID-carrying field of ``pattern_id``, or ``None``."""
+        for pid, fname in self.fields:
+            if pid == pattern_id:
+                return fname
+        return None
+
+    def as_dict(self) -> Dict[int, str]:
+        return dict(self.fields)
+
+
+class IdFieldDiscovery:
+    """Discover event ID field groups from parsed training logs.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of distinct content values that must exhibit a
+        pair-set for it to become a group (default 2).
+    min_patterns:
+        Minimum number of linked patterns per group (default 2 — a single
+        pattern does not make a cross-log event).
+    max_logs_per_content:
+        Reject content values shared by more logs than this — such values
+        are categorical, not identifiers (default 100).
+    """
+
+    def __init__(
+        self,
+        min_support: int = 2,
+        min_patterns: int = 2,
+        max_logs_per_content: int = 100,
+    ) -> None:
+        self.min_support = min_support
+        self.min_patterns = min_patterns
+        self.max_logs_per_content = max_logs_per_content
+
+    # ------------------------------------------------------------------
+    def build_reverse_index(
+        self, logs: Iterable[ParsedLog]
+    ) -> Dict[str, Dict[Tuple[int, str], int]]:
+        """Content value → {(pattern id, field name): log count}."""
+        index: Dict[str, Dict[Tuple[int, str], int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for log in logs:
+            for fname, value in log.fields.items():
+                if _CANONICAL_TS_RE.match(value):
+                    continue  # timestamps are never event identifiers
+                index[value][(log.pattern_id, fname)] += 1
+        return {k: dict(v) for k, v in index.items()}
+
+    def discover(self, logs: Sequence[ParsedLog]) -> List[IdFieldGroup]:
+        """Return ID field groups, strongest first.
+
+        A returned list is never empty unless no pair-set satisfies the
+        support constraints (e.g. training logs with no cross-pattern
+        identifiers at all).
+        """
+        all_patterns: Set[int] = {log.pattern_id for log in logs}
+        index = self.build_reverse_index(logs)
+        support: Dict[PairSet, int] = defaultdict(int)
+        for content, pairs in index.items():
+            total_logs = sum(pairs.values())
+            if total_logs > self.max_logs_per_content:
+                continue
+            if len(pairs) < self.min_patterns:
+                continue
+            pair_set: PairSet = frozenset(pairs.keys())
+            if len({pid for pid, _ in pair_set}) < self.min_patterns:
+                continue
+            support[pair_set] += 1
+        groups: List[IdFieldGroup] = []
+        for pair_set, sup in support.items():
+            if sup < self.min_support:
+                continue
+            pids = {pid for pid, _ in pair_set}
+            # A pattern must contribute exactly one ID field per group;
+            # ambiguous pair-sets (two fields of one pattern) are split by
+            # keeping the set as-is only when unambiguous.
+            if len(pids) != len(pair_set):
+                continue
+            groups.append(
+                IdFieldGroup(
+                    fields=tuple(sorted(pair_set)),
+                    support=sup,
+                    covers_all_patterns=pids == all_patterns,
+                )
+            )
+        # Strongest evidence first: full coverage, more patterns, support.
+        groups.sort(
+            key=lambda g: (
+                g.covers_all_patterns,
+                len(g.fields),
+                g.support,
+            ),
+            reverse=True,
+        )
+        return self._prune_subsumed(groups)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prune_subsumed(groups: List[IdFieldGroup]) -> List[IdFieldGroup]:
+        """Drop groups whose pair-set is a strict subset of an accepted one.
+
+        Truncated events (an ID that happened to appear in only a prefix of
+        the workflow) generate subset lists; they describe the same ID
+        field, not a new one.
+        """
+        accepted: List[IdFieldGroup] = []
+        for group in groups:
+            gset = set(group.fields)
+            if any(gset < set(a.fields) for a in accepted):
+                continue
+            accepted.append(group)
+        return accepted

@@ -1,0 +1,74 @@
+"""Severity scoring for sequence anomalies.
+
+Every anomaly carries a severity (paper, Section II-B: "each anomaly has
+a type, severity, reason...").  The default policy grades by how far the
+event strayed from the learned rules, not just by type:
+
+* structural violations (missing begin/end/intermediate state) are
+  ``ERROR`` — the workflow broke;
+* bounded-value violations (occurrence, duration) are ``WARNING`` when
+  mildly out of range and escalate to ``ERROR``/``CRITICAL`` as the
+  deviation ratio grows.
+
+Policies are pluggable: hand a custom :class:`SeverityPolicy` to the
+detector to encode domain rules (e.g. every anomaly on a billing source
+is ``CRITICAL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.anomaly import AnomalyType, Severity
+
+__all__ = ["SeverityPolicy", "DefaultSeverityPolicy"]
+
+
+class SeverityPolicy:
+    """Interface: map an anomalous event's violations to a severity."""
+
+    def grade(
+        self,
+        violations: List[Tuple[AnomalyType, str]],
+        *,
+        duration_ratio: float = 1.0,
+        occurrence_ratio: float = 1.0,
+    ) -> Severity:
+        raise NotImplementedError
+
+
+@dataclass
+class DefaultSeverityPolicy(SeverityPolicy):
+    """Deviation-ratio grading with configurable escalation thresholds.
+
+    ``error_ratio`` / ``critical_ratio`` bound how far outside the
+    learned [min, max] window a numeric rule may be before the anomaly
+    escalates.  A ratio of 1.0 means "exactly at the bound"; 2.0 means
+    "twice the bound (or half the minimum)".
+    """
+
+    error_ratio: float = 1.5
+    critical_ratio: float = 3.0
+
+    def grade(
+        self,
+        violations: List[Tuple[AnomalyType, str]],
+        *,
+        duration_ratio: float = 1.0,
+        occurrence_ratio: float = 1.0,
+    ) -> Severity:
+        types = {v for v, _ in violations}
+        structural = {
+            AnomalyType.MISSING_BEGIN,
+            AnomalyType.MISSING_END,
+            AnomalyType.MISSING_INTERMEDIATE,
+        }
+        worst_ratio = max(duration_ratio, occurrence_ratio)
+        if worst_ratio >= self.critical_ratio:
+            return Severity.CRITICAL
+        if types & structural:
+            return Severity.ERROR
+        if worst_ratio >= self.error_ratio:
+            return Severity.ERROR
+        return Severity.WARNING

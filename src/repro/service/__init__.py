@@ -1,0 +1,66 @@
+"""Deployment components of the LogLens architecture (paper, Figure 1).
+
+Transport (:mod:`~repro.service.bus`), storage
+(:mod:`~repro.service.storage`), ingestion
+(:mod:`~repro.service.agent`, :mod:`~repro.service.log_manager`), the
+model management plane (:mod:`~repro.service.model_builder`,
+:mod:`~repro.service.model_manager`, :mod:`~repro.service.model_controller`),
+the heartbeat controller (:mod:`~repro.service.heartbeat`), and the fully
+wired :class:`~repro.service.loglens_service.LogLensService`.
+"""
+
+from .agent import FileTailAgent, ReplayAgent
+from .bus import Consumer, Message, MessageBus
+from .dashboard import AdHocQuery, Dashboard
+from .fleet import FleetService
+from .heartbeat import HeartbeatController, SourceClock
+from .scheduler import RelearnAutomation, ScheduledTask, SimulatedScheduler
+from .log_manager import LogManager, LogManagerStats
+from .loglens_service import LogLensService, StepReport
+from .model_builder import BuiltModels, ModelBuilder
+from .model_controller import (
+    ControlInstruction,
+    ControlOp,
+    ModelBinding,
+    ModelController,
+)
+from .replay import ModelComparison, ReplayOutcome, compare_models, replay
+from .model_manager import ModelManager, PATTERN_MODEL, SEQUENCE_MODEL
+from .storage import AnomalyStorage, DocumentStore, LogStorage, ModelStorage
+
+__all__ = [
+    "FileTailAgent",
+    "ReplayAgent",
+    "Consumer",
+    "Message",
+    "MessageBus",
+    "AdHocQuery",
+    "Dashboard",
+    "FleetService",
+    "RelearnAutomation",
+    "ScheduledTask",
+    "SimulatedScheduler",
+    "HeartbeatController",
+    "SourceClock",
+    "LogManager",
+    "LogManagerStats",
+    "LogLensService",
+    "StepReport",
+    "BuiltModels",
+    "ModelBuilder",
+    "ControlInstruction",
+    "ControlOp",
+    "ModelBinding",
+    "ModelController",
+    "ModelComparison",
+    "ReplayOutcome",
+    "compare_models",
+    "replay",
+    "ModelManager",
+    "PATTERN_MODEL",
+    "SEQUENCE_MODEL",
+    "AnomalyStorage",
+    "DocumentStore",
+    "LogStorage",
+    "ModelStorage",
+]

@@ -1,0 +1,167 @@
+"""In-memory message broker (the Kafka stand-in).
+
+LogLens uses Kafka for shipping logs and for communication among
+components (paper, Section II-B).  This broker reproduces the surface the
+system relies on: named topics with partitions, append-only partition
+logs, offset-tracking consumers with consumer groups, and keyed produce
+for co-partitioning.  Everything is process-local and thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Message", "MessageBus", "Consumer"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One record on a topic partition."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Optional[str]
+    value: Any
+
+
+class _Topic:
+    def __init__(self, name: str, partitions: int) -> None:
+        self.name = name
+        self.partitions: List[List[Message]] = [[] for _ in range(partitions)]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+
+class MessageBus:
+    """Topic registry + produce path."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, _Topic] = {}
+        self._lock = threading.RLock()
+        # (group, topic, partition) -> committed offset
+        self._group_offsets: Dict[Tuple[str, str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def create_topic(self, name: str, partitions: int = 1) -> None:
+        """Create a topic; re-creating an existing topic is an error."""
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        with self._lock:
+            if name in self._topics:
+                raise ValueError("topic %r already exists" % name)
+            self._topics[name] = _Topic(name, partitions)
+
+    def ensure_topic(self, name: str, partitions: int = 1) -> None:
+        """Create the topic only if absent (idempotent setup)."""
+        with self._lock:
+            if name not in self._topics:
+                self._topics[name] = _Topic(name, partitions)
+
+    def topics(self) -> List[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    # ------------------------------------------------------------------
+    def produce(
+        self, topic: str, value: Any, key: Optional[str] = None
+    ) -> Message:
+        """Append a record; keyed records land on a stable partition."""
+        with self._lock:
+            t = self._get_topic(topic)
+            if key is None:
+                # Round-robin by total record count for keyless produce.
+                total = sum(len(p) for p in t.partitions)
+                partition = total % t.partition_count
+            else:
+                partition = (
+                    zlib.crc32(key.encode("utf-8")) % t.partition_count
+                )
+            log = t.partitions[partition]
+            message = Message(
+                topic=topic,
+                partition=partition,
+                offset=len(log),
+                key=key,
+                value=value,
+            )
+            log.append(message)
+            return message
+
+    def produce_many(
+        self, topic: str, values: List[Any], key: Optional[str] = None
+    ) -> None:
+        for value in values:
+            self.produce(topic, value, key=key)
+
+    # ------------------------------------------------------------------
+    def consumer(self, topic: str, group: str) -> "Consumer":
+        """A consumer for ``topic`` within consumer-group ``group``.
+
+        Consumers of the same group share committed offsets: a record is
+        delivered to one group only once (per partition).
+        """
+        with self._lock:
+            self._get_topic(topic)  # validate existence
+        return Consumer(self, topic, group)
+
+    def end_offsets(self, topic: str) -> List[int]:
+        with self._lock:
+            t = self._get_topic(topic)
+            return [len(p) for p in t.partitions]
+
+    def _get_topic(self, name: str) -> _Topic:
+        topic = self._topics.get(name)
+        if topic is None:
+            raise KeyError("unknown topic %r" % name)
+        return topic
+
+    # ------------------------------------------------------------------
+    def _poll(
+        self, topic: str, group: str, max_records: int
+    ) -> List[Message]:
+        with self._lock:
+            t = self._get_topic(topic)
+            out: List[Message] = []
+            for partition in range(t.partition_count):
+                key = (group, topic, partition)
+                offset = self._group_offsets.get(key, 0)
+                log = t.partitions[partition]
+                take = log[offset:offset + max(0, max_records - len(out))]
+                out.extend(take)
+                self._group_offsets[key] = offset + len(take)
+                if len(out) >= max_records:
+                    break
+            return out
+
+    def committed(self, topic: str, group: str) -> List[int]:
+        with self._lock:
+            t = self._get_topic(topic)
+            return [
+                self._group_offsets.get((group, topic, p), 0)
+                for p in range(t.partition_count)
+            ]
+
+
+class Consumer:
+    """Offset-tracking consumer bound to a topic and a consumer group."""
+
+    def __init__(self, bus: MessageBus, topic: str, group: str) -> None:
+        self._bus = bus
+        self.topic = topic
+        self.group = group
+
+    def poll(self, max_records: int = 1000) -> List[Message]:
+        """Fetch up to ``max_records`` new records and advance offsets."""
+        return self._bus._poll(self.topic, self.group, max_records)
+
+    def lag(self) -> int:
+        """Records produced but not yet consumed by this group."""
+        ends = self._bus.end_offsets(self.topic)
+        committed = self._bus.committed(self.topic, self.group)
+        return sum(e - c for e, c in zip(ends, committed))

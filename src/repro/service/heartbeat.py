@@ -1,0 +1,147 @@
+"""The external heartbeat controller (paper, Section V-B).
+
+Stateful anomaly detection is event-driven: with no incoming logs, an
+already-anomalous open state (a transaction that will never finish) is
+never reported.  Wall-clock timeouts don't work because *log time* can run
+faster or slower than system time.  The controller therefore tracks, per
+source, the last observed log timestamp and the log inter-arrival rate,
+and on every tick emits a heartbeat message whose timestamp *extrapolates*
+log time: ``last_observed + k × mean_gap`` after ``k`` silent ticks.
+
+Heartbeats enter the same data channel as logs and are fanned out to every
+partition by the custom partitioner, where they trigger expired-state
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..streaming.records import StreamRecord, heartbeat_record
+
+__all__ = ["SourceClock", "HeartbeatController"]
+
+
+@dataclass
+class SourceClock:
+    """Per-source log-time tracking."""
+
+    last_timestamp: Optional[int] = None
+    #: Exponentially-weighted mean inter-arrival gap (millis).
+    mean_gap: float = 0.0
+    observed: int = 0
+    silent_ticks: int = 0
+    active: bool = True
+
+
+class HeartbeatController:
+    """Generate per-source heartbeat messages carrying extrapolated log time.
+
+    Parameters
+    ----------
+    ewma_alpha:
+        Weight of the newest gap in the rate estimate (default 0.3).
+    default_gap_millis:
+        Gap assumed before any rate can be estimated (default 1000).
+    """
+
+    def __init__(
+        self, ewma_alpha: float = 0.3, default_gap_millis: int = 1000
+    ) -> None:
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.ewma_alpha = ewma_alpha
+        self.default_gap_millis = default_gap_millis
+        self._clocks: Dict[str, SourceClock] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, source: str, timestamp_millis: Optional[int]) -> None:
+        """Record a log arrival from ``source`` (called by the log manager)."""
+        clock = self._clocks.setdefault(source, SourceClock())
+        clock.silent_ticks = 0
+        clock.observed += 1
+        if timestamp_millis is None:
+            return
+        if clock.last_timestamp is not None:
+            gap = max(0, timestamp_millis - clock.last_timestamp)
+            if clock.mean_gap == 0.0:
+                clock.mean_gap = float(gap)
+            else:
+                clock.mean_gap = (
+                    self.ewma_alpha * gap
+                    + (1 - self.ewma_alpha) * clock.mean_gap
+                )
+        if (
+            clock.last_timestamp is None
+            or timestamp_millis > clock.last_timestamp
+        ):
+            clock.last_timestamp = timestamp_millis
+
+    def deactivate(self, source: str) -> None:
+        """Stop heartbeating for a source whose agent went away."""
+        clock = self._clocks.get(source)
+        if clock is not None:
+            clock.active = False
+
+    def activate(self, source: str) -> None:
+        clock = self._clocks.setdefault(source, SourceClock())
+        clock.active = True
+
+    # ------------------------------------------------------------------
+    def tick(self) -> List[StreamRecord]:
+        """One controller period: emit a heartbeat per active source.
+
+        Every successive silent tick advances the extrapolated timestamp
+        by another estimated gap, so log time keeps progressing even while
+        the source is quiet.
+        """
+        out: List[StreamRecord] = []
+        for source, clock in self._clocks.items():
+            if not clock.active or clock.last_timestamp is None:
+                continue
+            clock.silent_ticks += 1
+            gap = clock.mean_gap or float(self.default_gap_millis)
+            extrapolated = clock.last_timestamp + int(
+                round(gap * clock.silent_ticks)
+            )
+            out.append(heartbeat_record(source, extrapolated))
+        return out
+
+    def estimated_time(self, source: str) -> Optional[int]:
+        """Current extrapolated log time of a source (None if unseen)."""
+        clock = self._clocks.get(source)
+        if clock is None or clock.last_timestamp is None:
+            return None
+        gap = clock.mean_gap or float(self.default_gap_millis)
+        return clock.last_timestamp + int(round(gap * clock.silent_ticks))
+
+    def sources(self) -> List[str]:
+        return sorted(self._clocks)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-safe serialisation of all source clocks (checkpointing)."""
+        return {
+            source: {
+                "last_timestamp": clock.last_timestamp,
+                "mean_gap": clock.mean_gap,
+                "observed": clock.observed,
+                "silent_ticks": clock.silent_ticks,
+                "active": clock.active,
+            }
+            for source, clock in self._clocks.items()
+        }
+
+    def restore_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Replace the clock table with a :meth:`snapshot`."""
+        self._clocks = {
+            source: SourceClock(
+                last_timestamp=entry.get("last_timestamp"),
+                mean_gap=entry.get("mean_gap", 0.0),
+                observed=entry.get("observed", 0),
+                silent_ticks=entry.get("silent_ticks", 0),
+                active=entry.get("active", True),
+            )
+            for source, entry in snapshot.items()
+        }

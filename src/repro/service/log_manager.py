@@ -1,0 +1,121 @@
+"""The log manager (paper, Section II-B).
+
+Receives logs from agents, controls the incoming rate, identifies log
+sources, archives every line into log storage, and forwards the flow to
+the parser topic.  Rate control is a token bucket refilled per poll cycle,
+so a bursty agent cannot starve the parsing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..parsing.timestamps import TimestampDetector
+from .bus import Consumer, MessageBus
+from .storage import LogStorage
+
+__all__ = ["LogManagerStats", "LogManager"]
+
+
+@dataclass
+class LogManagerStats:
+    received: int = 0
+    forwarded: int = 0
+    deferred: int = 0
+
+
+class LogManager:
+    """Bridge between the agent topic and the parser topic.
+
+    Parameters
+    ----------
+    bus:
+        The message bus; both topics must exist.
+    log_storage:
+        Archive for all received lines.
+    in_topic / out_topic:
+        Source and destination topic names.
+    max_rate_per_cycle:
+        Token-bucket capacity: at most this many logs are forwarded per
+        :meth:`cycle`; the surplus stays on the bus (back-pressure) and is
+        counted as deferred.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        log_storage: LogStorage,
+        in_topic: str = "logs.raw",
+        out_topic: str = "logs.ingest",
+        max_rate_per_cycle: int = 10000,
+    ) -> None:
+        if max_rate_per_cycle < 1:
+            raise ValueError("max_rate_per_cycle must be >= 1")
+        self.bus = bus
+        self.log_storage = log_storage
+        self.in_topic = in_topic
+        self.out_topic = out_topic
+        self.max_rate_per_cycle = max_rate_per_cycle
+        self._consumer: Consumer = bus.consumer(in_topic, group="log-manager")
+        self.stats = LogManagerStats()
+        self._known_sources: List[str] = []
+        # Archived logs carry event time so time-windowed model rebuilds
+        # ("last seven days") can slice the archive.
+        self._timestamps = TimestampDetector()
+
+    # ------------------------------------------------------------------
+    def cycle(self) -> int:
+        """One manager period: poll, identify, archive, forward.
+
+        Returns the number of logs forwarded to the parser topic.
+        """
+        messages = self._consumer.poll(max_records=self.max_rate_per_cycle)
+        self.stats.received += len(messages)
+        self.stats.deferred = self._consumer.lag()
+        forwarded = 0
+        for message in messages:
+            payload = message.value
+            raw = payload["raw"]
+            source = self._identify_source(payload)
+            self.log_storage.store(
+                raw, source, timestamp_millis=self._event_time(raw)
+            )
+            self.bus.produce(
+                self.out_topic,
+                {"raw": raw, "source": source},
+                key=source,
+            )
+            forwarded += 1
+        self.stats.forwarded += forwarded
+        return forwarded
+
+    def drain(self) -> int:
+        """Run cycles until the input topic is empty."""
+        total = 0
+        while True:
+            forwarded = self.cycle()
+            total += forwarded
+            if forwarded == 0:
+                break
+        return total
+
+    # ------------------------------------------------------------------
+    def _event_time(self, raw: str) -> Optional[int]:
+        """Event time from the first timestamp near the line's start."""
+        tokens = raw.split()
+        for start in range(min(3, len(tokens))):
+            match = self._timestamps.identify(tokens, start)
+            if match is not None:
+                return match.epoch_millis
+        return None
+
+    def _identify_source(self, payload: Dict) -> str:
+        source = payload.get("source") or "unknown"
+        if source not in self._known_sources:
+            self._known_sources.append(source)
+        return source
+
+    def sources(self) -> List[str]:
+        """All sources seen so far, in first-seen order."""
+        return list(self._known_sources)

@@ -1,0 +1,462 @@
+"""End-to-end LogLens deployment (paper, Figure 1).
+
+Wires every architectural component together on top of the streaming
+substrate::
+
+    agents → log manager → [parse context: stateless log parser]
+                               ├─ unparsed → anomaly storage
+                               └─ parsed ──(shuffle by event id)──▶
+           heartbeat controller ┘
+                          [sequence context: stateful detector]
+                               └─ sequence anomalies → anomaly storage
+
+Two streaming contexts model Spark's two stages with a shuffle between
+them: parse output is re-keyed by event ID content so each partition owns
+complete events.  Both model kinds live in broadcast variables; the model
+manager publishes updates through the model controller, which queues
+rebroadcasts applied at batch boundaries — the service never stops, and
+open event states survive every update.
+
+The service is driven synchronously: :meth:`ingest` enqueues raw lines,
+:meth:`step` advances one micro-batch "period" end to end.  This keeps the
+simulator deterministic while exercising the exact component graph of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.anomaly import Anomaly
+from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
+from ..parsing.tokenizer import Tokenizer
+from ..sequence.detector import LogSequenceDetector
+from ..sequence.model import SequenceModel
+from ..streaming.engine import StreamingContext, WorkerContext
+from ..streaming.records import StreamRecord
+from ..streaming.state import StateMap
+from .bus import MessageBus
+from .heartbeat import HeartbeatController
+from .log_manager import LogManager
+from .model_builder import BuiltModels, ModelBuilder
+from .model_controller import ModelBinding, ModelController
+from .model_manager import ModelManager, PATTERN_MODEL, SEQUENCE_MODEL
+from .storage import AnomalyStorage, LogStorage, ModelStorage
+
+__all__ = ["StepReport", "LogLensService"]
+
+
+@dataclass
+class StepReport:
+    """What one service step accomplished."""
+
+    ingested: int
+    parsed: int
+    stateless_anomalies: int
+    sequence_anomalies: int
+    heartbeats: int
+    model_updates_applied: int
+
+
+class LogLensService:
+    """The complete system of Figure 1, runnable in one process.
+
+    Parameters
+    ----------
+    num_partitions:
+        Worker count for both streaming stages.
+    tokenizer_factory:
+        Builds one tokenizer per parser worker (each worker gets its own
+        timestamp-format cache); defaults to plain :class:`Tokenizer`.
+    builder:
+        Model builder used for training and relearn automation.
+    heartbeat_period_steps:
+        Emit heartbeats every N service steps (default 1).
+    expiry_factor / min_expiry_millis:
+        Passed to every partition's sequence detector.
+    heartbeats_enabled:
+        The Figure 5 ablation switch.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 4,
+        tokenizer_factory: Optional[Callable[[], Tokenizer]] = None,
+        builder: Optional[ModelBuilder] = None,
+        heartbeat_period_steps: int = 1,
+        expiry_factor: float = 2.0,
+        min_expiry_millis: int = 1000,
+        heartbeats_enabled: bool = True,
+    ) -> None:
+        self.tokenizer_factory = tokenizer_factory or Tokenizer
+        self.heartbeat_period_steps = max(1, heartbeat_period_steps)
+        self.expiry_factor = expiry_factor
+        self.min_expiry_millis = min_expiry_millis
+        self.heartbeats_enabled = heartbeats_enabled
+
+        # Transport and storage plane.
+        self.bus = MessageBus()
+        self.bus.ensure_topic("logs.raw", partitions=num_partitions)
+        self.bus.ensure_topic("logs.ingest", partitions=num_partitions)
+        self.log_storage = LogStorage()
+        self.model_storage = ModelStorage()
+        self.anomaly_storage = AnomalyStorage()
+        self.log_manager = LogManager(self.bus, self.log_storage)
+        self._ingest_consumer = self.bus.consumer(
+            "logs.ingest", group="loglens-parser"
+        )
+        self.heartbeat_controller = HeartbeatController()
+
+        # Streaming plane: two stages with a shuffle in between.
+        self.parse_ctx = StreamingContext(num_partitions)
+        self.seq_ctx = StreamingContext(num_partitions)
+        self._pattern_bv = self.parse_ctx.broadcast(PatternModel([]))
+        self._sequence_bv = self.seq_ctx.broadcast(SequenceModel([]))
+
+        # Management plane.
+        self.model_controller = ModelController()
+        self.model_controller.bind(
+            PATTERN_MODEL,
+            ModelBinding(
+                context=self.parse_ctx,
+                variable=self._pattern_bv,
+                deserialize=PatternModel.from_dict,
+                empty=lambda: PatternModel([]),
+            ),
+        )
+        self.model_controller.bind(
+            SEQUENCE_MODEL,
+            ModelBinding(
+                context=self.seq_ctx,
+                variable=self._sequence_bv,
+                deserialize=SequenceModel.from_dict,
+                empty=lambda: SequenceModel([]),
+            ),
+        )
+        self.model_manager = ModelManager(
+            self.model_storage,
+            self.model_controller,
+            builder if builder is not None else ModelBuilder(),
+        )
+
+        self._steps = 0
+        self._parsed_buffer: List[StreamRecord] = []
+        self._build_graphs()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _build_graphs(self) -> None:
+        parse_src = self.parse_ctx.source()
+        parsed = parse_src.flat_map(self._parse_op)
+        parsed.filter(
+            lambda r: isinstance(r.value, Anomaly)
+        ).sink(self._store_anomaly)
+        parsed.filter(
+            lambda r: isinstance(r.value, ParsedLog)
+        ).sink(self._buffer_parsed)
+
+        seq_src = self.seq_ctx.source()
+        seq_out = seq_src.map_with_state(self._sequence_op)
+        seq_out.sink(self._store_anomaly)
+        # The stateful node's id locates detectors for checkpoint/restore.
+        self._seq_state_node_id = seq_out._node.node_id
+
+    # ------------------------------------------------------------------
+    # Worker-side operators
+    # ------------------------------------------------------------------
+    def _parse_op(
+        self, record: StreamRecord, worker: WorkerContext
+    ) -> Iterable[StreamRecord]:
+        model = self._pattern_bv.get_value(worker.block_manager)
+        cached = getattr(worker, "_loglens_parser", None)
+        if cached is None or cached.model is not model:
+            cached = FastLogParser(model, tokenizer=self.tokenizer_factory())
+            worker._loglens_parser = cached  # type: ignore[attr-defined]
+        payload = record.value
+        result = cached.parse(payload["raw"], source=payload["source"])
+        ts = (
+            result.timestamp_millis
+            if isinstance(result, (ParsedLog, Anomaly))
+            else None
+        )
+        yield StreamRecord(
+            value=result,
+            key=record.key,
+            source=payload["source"],
+            timestamp_millis=ts,
+        )
+
+    def _sequence_op(
+        self,
+        record: StreamRecord,
+        state: StateMap,
+        worker: WorkerContext,
+    ) -> Iterable[StreamRecord]:
+        model = self._sequence_bv.get_value(worker.block_manager)
+        detector: Optional[LogSequenceDetector] = state.get("_detector")
+        if detector is None:
+            detector = LogSequenceDetector(
+                model,
+                expiry_factor=self.expiry_factor,
+                min_expiry_millis=self.min_expiry_millis,
+            )
+            state.put("_detector", detector)
+        elif detector.model is not model:
+            # Zero-downtime update: swap rules, keep surviving open events.
+            detector.model = model
+        if record.is_heartbeat:
+            anomalies = detector.process_heartbeat(
+                record.timestamp_millis or 0
+            )
+        else:
+            anomalies = detector.process(record.value)
+        for anomaly in anomalies:
+            yield StreamRecord(
+                value=anomaly,
+                source=anomaly.source,
+                timestamp_millis=anomaly.timestamp_millis,
+            )
+
+    # ------------------------------------------------------------------
+    # Driver-side sinks and helpers
+    # ------------------------------------------------------------------
+    def _store_anomaly(self, record: StreamRecord) -> None:
+        anomaly: Anomaly = record.value
+        self.anomaly_storage.store(anomaly.to_dict())
+
+    def _buffer_parsed(self, record: StreamRecord) -> None:
+        self._parsed_buffer.append(record)
+
+    def _event_key(self, parsed: ParsedLog) -> Optional[str]:
+        model: SequenceModel = self._sequence_bv.get_value()
+        for automaton in model.automata_for_pattern(parsed.pattern_id):
+            fname = automaton.id_field_for(parsed.pattern_id)
+            if fname is None:
+                continue
+            content = parsed.fields.get(fname)
+            if content is not None:
+                return content
+        return None
+
+    # ------------------------------------------------------------------
+    # Public control surface
+    # ------------------------------------------------------------------
+    def train(self, training_logs: Sequence[str]) -> BuiltModels:
+        """Build models from normal-run logs and roll them out."""
+        models = self.model_manager.builder.build(training_logs)
+        self.model_manager.register_built(models)
+        self.model_manager.publish_all()
+        self.flush_model_updates()
+        return models
+
+    def flush_model_updates(self) -> None:
+        """Apply queued model updates now by running empty batches."""
+        self.parse_ctx.run_batch([])
+        self.seq_ctx.run_batch([])
+
+    def ingest(self, raw_logs: Iterable[str], source: str) -> int:
+        """Enqueue raw lines onto the agent topic; returns the count.
+
+        Records are keyed by source: the broker only guarantees order
+        within a partition, and event logs of one source must stay in
+        arrival order for sequence detection.
+        """
+        count = 0
+        for raw in raw_logs:
+            self.bus.produce(
+                "logs.raw", {"raw": raw, "source": source}, key=source
+            )
+            count += 1
+        return count
+
+    def step(self, max_records: int = 100000) -> StepReport:
+        """Advance one end-to-end micro-batch period."""
+        self._steps += 1
+        before_anomalies = self.anomaly_storage.count()
+
+        self.log_manager.cycle()
+        messages = self._ingest_consumer.poll(max_records=max_records)
+        parse_batch = [
+            StreamRecord(value=m.value, key=m.key, source=m.value["source"])
+            for m in messages
+        ]
+        parse_metrics = self.parse_ctx.run_batch(parse_batch)
+
+        parsed_records = self._parsed_buffer
+        self._parsed_buffer = []
+        for record in parsed_records:
+            self.heartbeat_controller.observe(
+                record.source or "unknown", record.timestamp_millis
+            )
+
+        heartbeats: List[StreamRecord] = []
+        if (
+            self.heartbeats_enabled
+            and self._steps % self.heartbeat_period_steps == 0
+        ):
+            heartbeats = self.heartbeat_controller.tick()
+
+        seq_batch = [
+            StreamRecord(
+                value=r.value,
+                key=self._event_key(r.value),
+                source=r.source,
+                timestamp_millis=r.timestamp_millis,
+            )
+            for r in parsed_records
+        ] + heartbeats
+        seq_metrics = self.seq_ctx.run_batch(seq_batch)
+
+        after = self.anomaly_storage.count()
+        stateless = sum(
+            1
+            for d in self.anomaly_storage.all()[before_anomalies:]
+            if d["type"] == "unparsed_log"
+        )
+        return StepReport(
+            ingested=len(parse_batch),
+            parsed=len(parsed_records),
+            stateless_anomalies=stateless,
+            sequence_anomalies=(after - before_anomalies) - stateless,
+            heartbeats=len(heartbeats),
+            model_updates_applied=(
+                parse_metrics.model_updates_applied
+                + seq_metrics.model_updates_applied
+            ),
+        )
+
+    def replay_from_storage(
+        self, source: str, as_source: Optional[str] = None
+    ) -> int:
+        """Re-ingest archived logs of ``source`` (paper, Section II-B:
+        "stored logs ... can also be used for future log replaying to
+        perform further analysis").
+
+        Returns the number of lines re-enqueued; drive them with
+        :meth:`step` / :meth:`run_until_drained` as usual.
+        """
+        raws = self.log_storage.by_source(source)
+        return self.ingest(raws, source=as_source or "%s.replay" % source)
+
+    def run_until_drained(self, max_steps: int = 10000) -> List[StepReport]:
+        """Step until no input remains (plus one trailing heartbeat step)."""
+        reports = []
+        for _ in range(max_steps):
+            report = self.step()
+            reports.append(report)
+            if report.ingested == 0:
+                break
+        return reports
+
+    def final_flush(self) -> int:
+        """Close every open event (end-of-replay); returns anomaly count.
+
+        Equivalent to heartbeats arbitrarily far in the future; used when a
+        replayed dataset ends and remaining open states must be judged.
+        """
+        count = 0
+        for worker in self.seq_ctx.workers:
+            for node_id, state in list(worker._states.items()):
+                detector = state.get("_detector")
+                if detector is None:
+                    continue
+                for anomaly in detector.flush():
+                    self.anomaly_storage.store(anomaly.to_dict())
+                    count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery — Section V-A: "if a stateful Spark streaming
+    # service is terminated, all the state data is lost".  A checkpoint
+    # captures models, open-event state, and log-time clocks so a crashed
+    # service resumes where it stopped.
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of the service's mutable state."""
+        partitions: Dict[str, Any] = {}
+        for worker in self.seq_ctx.workers:
+            state = worker._states.get(self._seq_state_node_id)
+            if state is None:
+                continue
+            detector: Optional[LogSequenceDetector] = state.get("_detector")
+            if detector is not None:
+                partitions[str(worker.partition_id)] = detector.snapshot()
+        return {
+            "num_partitions": self.seq_ctx.num_partitions,
+            "steps": self._steps,
+            "pattern_model": self._pattern_bv.get_value().to_dict(),
+            "sequence_model": self._sequence_bv.get_value().to_dict(),
+            "heartbeat": self.heartbeat_controller.snapshot(),
+            "partitions": partitions,
+        }
+
+    def restore_checkpoint(self, checkpoint: Dict[str, Any]) -> None:
+        """Load a :meth:`checkpoint` into this (freshly built) service.
+
+        The service must have the same partition count as the one that
+        wrote the checkpoint — event keys hash to partitions, so a
+        different layout would strand open states on the wrong worker.
+        """
+        if checkpoint["num_partitions"] != self.seq_ctx.num_partitions:
+            raise ValueError(
+                "checkpoint has %d partitions; this service has %d"
+                % (
+                    checkpoint["num_partitions"],
+                    self.seq_ctx.num_partitions,
+                )
+            )
+        self.model_controller.update(
+            PATTERN_MODEL, checkpoint["pattern_model"]
+        )
+        self.model_controller.update(
+            SEQUENCE_MODEL, checkpoint["sequence_model"]
+        )
+        self.flush_model_updates()
+        self.heartbeat_controller.restore_snapshot(checkpoint["heartbeat"])
+        self._steps = checkpoint.get("steps", 0)
+        for pid_text, snapshot in checkpoint["partitions"].items():
+            worker = self.seq_ctx.workers[int(pid_text)]
+            model: SequenceModel = self._sequence_bv.get_value(
+                worker.block_manager
+            )
+            detector = LogSequenceDetector.restore(
+                snapshot,
+                model,
+                expiry_factor=self.expiry_factor,
+                min_expiry_millis=self.min_expiry_millis,
+            )
+            worker.state_for(self._seq_state_node_id).put(
+                "_detector", detector
+            )
+
+    # ------------------------------------------------------------------
+    def open_event_count(self) -> int:
+        """In-flight events across all sequence partitions."""
+        total = 0
+        for worker in self.seq_ctx.workers:
+            for state in worker._states.values():
+                detector = state.get("_detector")
+                if detector is not None:
+                    total += detector.open_event_count
+        return total
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters for dashboards and tests."""
+        return {
+            "steps": self._steps,
+            "logs_archived": self.log_storage.count(),
+            "anomalies": self.anomaly_storage.count(),
+            "open_events": self.open_event_count(),
+            "parse_batches": self.parse_ctx.metrics.batches,
+            "sequence_batches": self.seq_ctx.metrics.batches,
+            "model_updates": (
+                self.parse_ctx.metrics.model_updates
+                + self.seq_ctx.metrics.model_updates
+            ),
+            "downtime_seconds": (
+                self.parse_ctx.metrics.downtime_seconds
+                + self.seq_ctx.metrics.downtime_seconds
+            ),
+        }

@@ -1,0 +1,251 @@
+"""Document stores: log, model, and anomaly storage (Elasticsearch stand-in).
+
+Section II-B of the paper assigns three storage roles to Elasticsearch:
+archived raw logs organised by source (replayable for model rebuilds),
+versioned models, and validated anomalies queryable from the dashboard.
+These in-memory stores reproduce the query surface LogLens uses: exact
+field match, numeric range scans, and source/time organisation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["DocumentStore", "LogStorage", "ModelStorage", "AnomalyStorage"]
+
+
+class DocumentStore:
+    """A minimal schemaless document collection with match/range queries."""
+
+    def __init__(self) -> None:
+        self._docs: List[Dict[str, Any]] = []
+        self._lock = threading.RLock()
+        self._next_id = 0
+
+    def insert(self, doc: Dict[str, Any]) -> int:
+        """Store a copy of ``doc``; returns the assigned document id."""
+        with self._lock:
+            doc_id = self._next_id
+            self._next_id += 1
+            stored = dict(doc)
+            stored["_id"] = doc_id
+            self._docs.append(stored)
+            return doc_id
+
+    def insert_many(self, docs: Iterable[Dict[str, Any]]) -> List[int]:
+        return [self.insert(d) for d in docs]
+
+    def get(self, doc_id: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            for doc in self._docs:
+                if doc["_id"] == doc_id:
+                    return dict(doc)
+        return None
+
+    def query(
+        self,
+        match: Optional[Dict[str, Any]] = None,
+        range_: Optional[Tuple[str, Optional[float], Optional[float]]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Filter by exact field equality and/or an inclusive numeric range.
+
+        ``range_`` is ``(field, low, high)``; ``None`` bounds are open.
+        """
+        out: List[Dict[str, Any]] = []
+        with self._lock:
+            for doc in self._docs:
+                if match is not None and any(
+                    doc.get(k) != v for k, v in match.items()
+                ):
+                    continue
+                if range_ is not None:
+                    fname, lo, hi = range_
+                    value = doc.get(fname)
+                    if value is None:
+                        continue
+                    if lo is not None and value < lo:
+                        continue
+                    if hi is not None and value > hi:
+                        continue
+                out.append(dict(doc))
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def count(self, match: Optional[Dict[str, Any]] = None) -> int:
+        if match is None:
+            with self._lock:
+                return len(self._docs)
+        return len(self.query(match=match))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._docs.clear()
+
+
+class LogStorage:
+    """Archived raw logs organised by source (paper: "Log Storage")."""
+
+    def __init__(self) -> None:
+        self._store = DocumentStore()
+
+    def store(
+        self,
+        raw: str,
+        source: str,
+        timestamp_millis: Optional[int] = None,
+    ) -> int:
+        return self._store.insert(
+            {
+                "raw": raw,
+                "source": source,
+                "timestamp_millis": timestamp_millis,
+            }
+        )
+
+    def store_many(
+        self,
+        raws: Iterable[str],
+        source: str,
+    ) -> None:
+        for raw in raws:
+            self.store(raw, source)
+
+    def by_source(self, source: str) -> List[str]:
+        """All raw logs of one source, in arrival order (for replay)."""
+        return [
+            d["raw"] for d in self._store.query(match={"source": source})
+        ]
+
+    def sources(self) -> List[str]:
+        seen = []
+        for doc in self._store.query():
+            if doc["source"] not in seen:
+                seen.append(doc["source"])
+        return seen
+
+    def time_range(
+        self, source: str, start_millis: int, end_millis: int
+    ) -> List[str]:
+        """Raw logs of a source within [start, end] (model rebuild window)."""
+        docs = self._store.query(
+            match={"source": source},
+            range_=("timestamp_millis", start_millis, end_millis),
+        )
+        return [d["raw"] for d in docs]
+
+    def count(self, source: Optional[str] = None) -> int:
+        match = {"source": source} if source is not None else None
+        return self._store.count(match=match)
+
+
+class ModelStorage:
+    """Versioned named models (paper: "Model Storage").
+
+    Every ``put`` creates a new version; detectors read the latest unless
+    they pin a version.  Values are stored as plain dicts — the
+    serialisation format of :class:`~repro.parsing.parser.PatternModel` and
+    :class:`~repro.sequence.model.SequenceModel`.
+    """
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, List[Dict[str, Any]]] = {}
+        #: Count of pruned (no longer retrievable) versions per name;
+        #: version numbers stay stable across pruning.
+        self._version_base: Dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    def put(self, name: str, model_dict: Dict[str, Any]) -> int:
+        """Store a new version; returns the 1-based version number."""
+        with self._lock:
+            history = self._versions.setdefault(name, [])
+            history.append(dict(model_dict))
+            return self._version_base.get(name, 0) + len(history)
+
+    def get(
+        self, name: str, version: Optional[int] = None
+    ) -> Dict[str, Any]:
+        with self._lock:
+            history = self._versions.get(name)
+            if not history:
+                raise KeyError("no model named %r" % name)
+            if version is None:
+                return dict(history[-1])
+            base = self._version_base.get(name, 0)
+            index = version - base - 1
+            if not 0 <= index < len(history):
+                raise KeyError(
+                    "model %r has no version %d" % (name, version)
+                )
+            return dict(history[index])
+
+    def latest_version(self, name: str) -> int:
+        with self._lock:
+            history = self._versions.get(name)
+            if not history:
+                raise KeyError("no model named %r" % name)
+            return self._version_base.get(name, 0) + len(history)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def prune(self, name: str, keep_last: int = 5) -> int:
+        """Drop old versions, keeping the newest ``keep_last``.
+
+        Version *numbers* stay stable — pruned versions simply become
+        unretrievable; returns how many were dropped.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        with self._lock:
+            history = self._versions.get(name)
+            if not history:
+                raise KeyError("no model named %r" % name)
+            dropped = max(0, len(history) - keep_last)
+            if dropped:
+                self._version_base[name] = (
+                    self._version_base.get(name, 0) + dropped
+                )
+                self._versions[name] = history[dropped:]
+            return dropped
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if name not in self._versions:
+                raise KeyError("no model named %r" % name)
+            del self._versions[name]
+
+
+class AnomalyStorage:
+    """Validated anomaly documents (paper: "Anomaly Storage")."""
+
+    def __init__(self) -> None:
+        self._store = DocumentStore()
+
+    def store(self, anomaly_dict: Dict[str, Any]) -> int:
+        return self._store.insert(anomaly_dict)
+
+    def all(self) -> List[Dict[str, Any]]:
+        return self._store.query()
+
+    def by_type(self, type_value: str) -> List[Dict[str, Any]]:
+        return self._store.query(match={"type": type_value})
+
+    def by_source(self, source: str) -> List[Dict[str, Any]]:
+        return self._store.query(match={"source": source})
+
+    def in_window(
+        self, start_millis: int, end_millis: int
+    ) -> List[Dict[str, Any]]:
+        return self._store.query(
+            range_=("timestamp_millis", start_millis, end_millis)
+        )
+
+    def count(self) -> int:
+        return self._store.count()
+
+    def clear(self) -> None:
+        self._store.clear()

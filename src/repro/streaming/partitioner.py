@@ -1,0 +1,65 @@
+"""Partitioners: key-hash routing plus heartbeat duplication.
+
+Data partitioning groups together logs with an inherent causal dependency
+(same event id) so one partition owns each event's state (paper, Section
+V-B).  Heartbeat messages must reach *every* partition — each partition
+sweeps its own expired states — so the custom partitioner duplicates any
+record tagged ``is_heartbeat`` to all partitions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Sequence
+
+from .records import StreamRecord
+
+__all__ = ["HashPartitioner", "HeartbeatAwarePartitioner", "partition_records"]
+
+
+def _stable_hash(key: str) -> int:
+    """Deterministic string hash (Python's ``hash`` is salted per run)."""
+    return zlib.crc32(key.encode("utf-8"))
+
+
+class HashPartitioner:
+    """Route records by ``crc32(key) % num_partitions``.
+
+    Keyless records go to partition 0 — in the LogLens pipeline every
+    stateful record carries its event key, and stateless work is
+    partition-agnostic anyway.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+    def partition(self, record: StreamRecord) -> List[int]:
+        """Target partition indices for ``record`` (always one here)."""
+        if record.key is None:
+            return [0]
+        return [_stable_hash(record.key) % self.num_partitions]
+
+
+class HeartbeatAwarePartitioner(HashPartitioner):
+    """The paper's custom partitioner: heartbeats fan out to all partitions."""
+
+    def partition(self, record: StreamRecord) -> List[int]:
+        if record.is_heartbeat:
+            return list(range(self.num_partitions))
+        return super().partition(record)
+
+
+def partition_records(
+    records: Iterable[StreamRecord],
+    partitioner: HashPartitioner,
+) -> List[List[StreamRecord]]:
+    """Split a micro-batch into per-partition record lists (order kept)."""
+    buckets: List[List[StreamRecord]] = [
+        [] for _ in range(partitioner.num_partitions)
+    ]
+    for record in records:
+        for idx in partitioner.partition(record):
+            buckets[idx].append(record)
+    return buckets

@@ -1,0 +1,54 @@
+"""Record types flowing through the streaming engine.
+
+A :class:`StreamRecord` wraps one payload (a raw log line, a parsed log, an
+anomaly...) with routing metadata.  Heartbeat messages travel **in the same
+data channel** as ordinary records, tagged with ``is_heartbeat`` — exactly
+the design of paper Section V-B, where a specially-tagged message triggers
+the custom partitioner to duplicate it to every partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["StreamRecord", "heartbeat_record"]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One record in a micro-batch.
+
+    Attributes
+    ----------
+    value:
+        The payload.
+    key:
+        Partitioning key; ``None`` routes by round-robin/hash of value id.
+    source:
+        Originating log source (agent) name.
+    timestamp_millis:
+        Event (log) time when known.
+    is_heartbeat:
+        True for heartbeat-controller messages; such records are broadcast
+        to every partition instead of hashed to one.
+    """
+
+    value: Any
+    key: Optional[str] = None
+    source: Optional[str] = None
+    timestamp_millis: Optional[int] = None
+    is_heartbeat: bool = False
+
+
+def heartbeat_record(
+    source: Optional[str], timestamp_millis: int
+) -> StreamRecord:
+    """Build a heartbeat record carrying extrapolated log time."""
+    return StreamRecord(
+        value=None,
+        key=None,
+        source=source,
+        timestamp_millis=timestamp_millis,
+        is_heartbeat=True,
+    )

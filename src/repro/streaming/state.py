@@ -1,0 +1,66 @@
+"""Per-partition keyed state with full-map exposure.
+
+Spark's ``mapWithState`` only lets program logic touch the state entry for
+the key of the record being processed; expired *open* states whose keys
+never arrive again are unreachable.  LogLens extends the API to expose the
+partition's whole state map (``getParentStateMap``, paper Section V-B), so
+a heartbeat can enumerate and clean up expired states it holds no keys
+for.  :class:`StateMap` reproduces that surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["StateMap"]
+
+
+class StateMap:
+    """Keyed mutable state owned by one partition.
+
+    Supports the narrow per-key interface (``get``/``put``/``remove``)
+    used by normal record processing, *and* whole-map enumeration — the
+    ``getParentStateMap()`` extension — used by heartbeat sweeps.
+    """
+
+    def __init__(self, partition_id: int) -> None:
+        self.partition_id = partition_id
+        self._entries: Dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Narrow per-key interface (vanilla mapWithState)
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+
+    def remove(self, key: Any) -> Optional[Any]:
+        return self._entries.pop(key, None)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Whole-map exposure (the getParentStateMap extension)
+    # ------------------------------------------------------------------
+    def get_parent_state_map(self) -> Dict[Any, Any]:
+        """Reference to the underlying map — enumerate states without keys.
+
+        Mutations through the returned mapping are visible to the state
+        (this mirrors the reference semantics of the Spark extension).
+        """
+        return self._entries
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(list(self._entries.items()))
+
+    def keys(self) -> List[Any]:
+        return list(self._entries.keys())
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,88 @@
+"""Unit tests for the Logstash-style naive parser baseline."""
+
+from repro.baselines.logstash import NaiveGrokParser
+from repro.core.anomaly import Anomaly, AnomalyType
+from repro.parsing.grok import GrokPattern
+from repro.parsing.logmine import PatternDiscoverer
+from repro.parsing.parser import FastLogParser, ParsedLog, PatternModel
+from repro.parsing.tokenizer import Tokenizer
+
+
+def model(*exprs):
+    return PatternModel(
+        [
+            GrokPattern.from_string(e, pattern_id=i + 1)
+            for i, e in enumerate(exprs)
+        ]
+    )
+
+
+class TestNaiveParsing:
+    def test_parse_success(self):
+        parser = NaiveGrokParser(model("%{WORD:w} login %{NOTSPACE:u}"))
+        result = parser.parse("alice login u-1")
+        assert isinstance(result, ParsedLog)
+        assert result.fields == {"w": "alice", "u": "u-1"}
+
+    def test_unparsed_is_anomaly(self):
+        parser = NaiveGrokParser(model("%{WORD:w} login"))
+        result = parser.parse("nothing to see")
+        assert isinstance(result, Anomaly)
+        assert result.type is AnomalyType.UNPARSED_LOG
+
+    def test_first_match_wins(self):
+        parser = NaiveGrokParser(
+            model("%{NOTSPACE:first} login", "%{WORD:second} login")
+        )
+        result = parser.parse("alice login")
+        assert result.pattern_id == 1  # configuration order, not specificity
+
+    def test_regex_attempts_scale_linearly(self):
+        """The O(m) behaviour the index eliminates."""
+        exprs = ["tag%d %%{NUMBER:n}" % i for i in range(50)]
+        parser = NaiveGrokParser(model(*exprs))
+        parser.parse("tag49 7")
+        assert parser.stats.regex_attempts == 50
+        parser.parse("unmatched")
+        assert parser.stats.regex_attempts == 100
+
+    def test_timestamps_normalised_like_loglens(self):
+        parser = NaiveGrokParser(model("%{DATETIME:ts} up"))
+        result = parser.parse("2016/02/23 09:00:31 up")
+        assert isinstance(result, ParsedLog)
+        assert result.fields["ts"] == "2016/02/23 09:00:31.000"
+        assert result.timestamp_millis == 1456218031000
+
+    def test_stats(self):
+        parser = NaiveGrokParser(model("%{WORD:w}"))
+        parser.parse("hello")
+        parser.parse("not-a-word-123")
+        assert parser.stats.parsed == 1
+        assert parser.stats.anomalies == 1
+
+
+class TestEquivalenceWithFastParser:
+    def test_same_accept_reject_decisions(self):
+        """Table IV sanity: both parsers produce the same results."""
+        tokenizer = Tokenizer()
+        lines = [
+            "2016/02/23 09:%02d:00 10.0.0.%d login user%d" % (i, i + 1, i)
+            for i in range(20)
+        ] + [
+            "2016/02/23 09:00:%02d worker %d finished" % (i, i)
+            for i in range(10)
+        ]
+        patterns = PatternDiscoverer().discover(
+            tokenizer.tokenize_many(lines)
+        )
+        pm = PatternModel(patterns)
+        fast = FastLogParser(pm, tokenizer=Tokenizer())
+        naive = NaiveGrokParser(pm, tokenizer=Tokenizer())
+        probes = lines + ["garbage !!", "2016/02/23 09:00:00 odd shape"]
+        for raw in probes:
+            f = fast.parse(raw)
+            n = naive.parse(raw)
+            assert isinstance(f, ParsedLog) == isinstance(n, ParsedLog), raw
+            if isinstance(f, ParsedLog):
+                assert f.pattern_id == n.pattern_id
+                assert f.fields == n.fields

@@ -1,0 +1,60 @@
+"""Unit tests for the anomaly record model."""
+
+import json
+
+from repro.core.anomaly import Anomaly, AnomalyType, Severity
+
+
+class TestAnomalyType:
+    def test_paper_type_numbers(self):
+        """Table II numbering: 1–4 for stateful, 0 for stateless."""
+        assert AnomalyType.UNPARSED_LOG.paper_type == 0
+        assert AnomalyType.MISSING_BEGIN.paper_type == 1
+        assert AnomalyType.MISSING_END.paper_type == 1
+        assert AnomalyType.MISSING_INTERMEDIATE.paper_type == 2
+        assert AnomalyType.OCCURRENCE_VIOLATION.paper_type == 3
+        assert AnomalyType.DURATION_VIOLATION.paper_type == 4
+
+    def test_values_are_stable_strings(self):
+        assert AnomalyType.MISSING_END.value == "missing_end"
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR \
+            < Severity.CRITICAL
+
+
+class TestAnomaly:
+    def test_to_dict_is_json_safe(self):
+        anomaly = Anomaly(
+            type=AnomalyType.DURATION_VIOLATION,
+            reason="too slow",
+            timestamp_millis=123,
+            logs=["l1", "l2"],
+            source="app",
+            severity=Severity.ERROR,
+            details={"automaton_id": 1},
+        )
+        doc = anomaly.to_dict()
+        json.dumps(doc)
+        assert doc["type"] == "duration_violation"
+        assert doc["paper_type"] == 4
+        assert doc["severity"] == 2
+        assert doc["logs"] == ["l1", "l2"]
+        assert doc["details"] == {"automaton_id": 1}
+
+    def test_defaults(self):
+        anomaly = Anomaly(type=AnomalyType.UNPARSED_LOG, reason="r")
+        doc = anomaly.to_dict()
+        assert doc["timestamp_millis"] is None
+        assert doc["logs"] == []
+        assert doc["severity"] == int(Severity.WARNING)
+
+    def test_to_dict_copies_collections(self):
+        anomaly = Anomaly(
+            type=AnomalyType.UNPARSED_LOG, reason="r", logs=["a"]
+        )
+        doc = anomaly.to_dict()
+        doc["logs"].append("b")
+        assert anomaly.logs == ["a"]

@@ -1,0 +1,170 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def training_file(tmp_path):
+    lines = []
+    for i in range(8):
+        eid = "cl-%04d" % i
+        lines += [
+            "2016/05/09 16:%02d:01 gate OPEN call %s from 10.0.0.8" % (i, eid),
+            "2016/05/09 16:%02d:04 gate call %s CLOSED rc 7654321" % (i, eid),
+        ]
+    path = tmp_path / "train.log"
+    path.write_text("\n".join(lines))
+    return path
+
+
+@pytest.fixture
+def model_file(tmp_path, training_file):
+    out = tmp_path / "model.json"
+    assert main(["train", str(training_file), "-o", str(out)]) == 0
+    return out
+
+
+class TestTrain:
+    def test_train_writes_model(self, model_file, capsys):
+        payload = json.loads(model_file.read_text())
+        assert len(payload["pattern_model"]["patterns"]) == 2
+        assert len(payload["sequence_model"]["automata"]) == 1
+
+    def test_train_empty_input_errors(self, tmp_path):
+        empty = tmp_path / "empty.log"
+        empty.write_text("")
+        assert main(["train", str(empty), "-o",
+                     str(tmp_path / "m.json")]) == 2
+
+    def test_train_output_message(self, tmp_path, training_file, capsys):
+        out = tmp_path / "m.json"
+        main(["train", str(training_file), "-o", str(out)])
+        captured = capsys.readouterr()
+        assert "2 patterns" in captured.out
+        assert "1 automata" in captured.out
+
+
+class TestDetect:
+    def test_detect_clean_stream_exit_zero(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call x-1 from 10.0.0.8\n"
+            "2016/05/09 17:00:04 gate call x-1 CLOSED rc 1111111\n"
+        )
+        assert main(["detect", str(stream), "-m", str(model_file)]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_detect_anomalies_exit_one_and_json(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call x-2 from 10.0.0.8\n"
+            "garbage line with no pattern\n"
+        )
+        assert main(
+            ["detect", str(stream), "-m", str(model_file),
+             "--source", "edge"]
+        ) == 1
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in out_lines]
+        types = sorted(d["type"] for d in docs)
+        assert types == ["missing_end", "unparsed_log"]
+        assert all(d["source"] == "edge" for d in docs)
+
+    def test_detect_no_heartbeat_skips_open_events(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call x-3 from 10.0.0.8\n"
+        )
+        assert main(
+            ["detect", str(stream), "-m", str(model_file),
+             "--no-heartbeat"]
+        ) == 0
+
+
+class TestInspectAndParse:
+    def test_inspect(self, model_file, capsys):
+        assert main(["inspect", str(model_file)]) == 0
+        out = capsys.readouterr().out
+        assert "patterns (2):" in out
+        assert "automata (1):" in out
+        assert "%{DATETIME:" in out
+
+    def test_parse_outputs_json_per_line(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call x-4 from 10.0.0.8\n"
+            "junk\n"
+        )
+        assert main(["parse", str(stream), "-m", str(model_file)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        first = json.loads(lines[0])
+        assert any(v == "x-4" for v in first.values())
+        assert json.loads(lines[1]) == {"_unparsed": "junk"}
+
+
+class TestWatch:
+    def test_watch_processes_existing_content(
+        self, tmp_path, model_file, capsys
+    ):
+        logfile = tmp_path / "live.log"
+        logfile.write_text(
+            "2016/05/09 17:30:01 gate OPEN call w-1 from 10.0.0.8\n"
+            "not a known format at all\n"
+            "2016/05/09 17:30:04 gate call w-1 CLOSED rc 5555555\n"
+        )
+        assert main(
+            [
+                "watch", str(logfile), "-m", str(model_file),
+                "--from-beginning", "--max-polls", "1",
+                "--poll-seconds", "0",
+            ]
+        ) == 0
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in out_lines]
+        assert [d["type"] for d in docs] == ["unparsed_log"]
+        assert docs[0]["source"] == "live"
+
+    def test_watch_tail_mode_skips_existing(
+        self, tmp_path, model_file, capsys
+    ):
+        logfile = tmp_path / "live.log"
+        logfile.write_text("old junk that would be an anomaly\n")
+        assert main(
+            [
+                "watch", str(logfile), "-m", str(model_file),
+                "--max-polls", "1", "--poll-seconds", "0",
+            ]
+        ) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+
+class TestQuality:
+    def test_quality_full_coverage_exit_zero(
+        self, tmp_path, training_file, model_file, capsys
+    ):
+        assert main(
+            ["quality", str(training_file), "-m", str(model_file)]
+        ) == 0
+        assert "coverage=1.000" in capsys.readouterr().out
+
+    def test_quality_drift_exit_one(self, tmp_path, model_file, capsys):
+        sample = tmp_path / "drifted.log"
+        sample.write_text("brand new format here\nanother new one\n")
+        assert main(
+            ["quality", str(sample), "-m", str(model_file)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "coverage=0.000" in captured.out
+        assert "unparsed:" in captured.err

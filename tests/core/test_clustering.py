@@ -1,0 +1,116 @@
+"""Unit tests for temporal anomaly clustering (Figure 6 analysis)."""
+
+import pytest
+
+from repro.core.anomaly import Anomaly, AnomalyType
+from repro.core.clustering import AnomalyCluster, cluster_anomalies
+
+
+def anomaly(ts):
+    return Anomaly(
+        type=AnomalyType.MISSING_END, reason="r", timestamp_millis=ts
+    )
+
+
+class TestClustering:
+    def test_single_cluster(self):
+        clusters = cluster_anomalies(
+            [anomaly(t) for t in (0, 10_000, 20_000)],
+            max_gap_millis=30_000,
+        )
+        assert len(clusters) == 1
+        assert clusters[0].size == 3
+        assert clusters[0].start_millis == 0
+        assert clusters[0].end_millis == 20_000
+
+    def test_gap_splits_clusters(self):
+        times = [0, 1_000, 2_000, 500_000, 501_000]
+        clusters = cluster_anomalies(
+            [anomaly(t) for t in times], max_gap_millis=60_000
+        )
+        assert [c.size for c in clusters] == [3, 2]
+
+    def test_four_clusters_like_figure6(self):
+        times = []
+        for c in range(4):
+            base = c * 900_000  # 15 minutes apart
+            times += [base + i * 1_000 for i in range(10)]
+        clusters = cluster_anomalies(
+            [anomaly(t) for t in times], max_gap_millis=60_000
+        )
+        assert len(clusters) == 4
+        assert all(c.size == 10 for c in clusters)
+
+    def test_unsorted_input(self):
+        times = [5_000, 0, 2_000, 200_000]
+        clusters = cluster_anomalies(
+            [anomaly(t) for t in times], max_gap_millis=10_000
+        )
+        assert [c.size for c in clusters] == [3, 1]
+
+    def test_min_cluster_size_filters_singletons(self):
+        times = [0, 1_000, 900_000]
+        clusters = cluster_anomalies(
+            [anomaly(t) for t in times],
+            max_gap_millis=10_000,
+            min_cluster_size=2,
+        )
+        assert len(clusters) == 1
+        assert clusters[0].size == 2
+
+    def test_dict_documents_accepted(self):
+        docs = [{"timestamp_millis": t} for t in (0, 1_000)]
+        clusters = cluster_anomalies(docs, max_gap_millis=10_000)
+        assert clusters[0].size == 2
+
+    def test_unstamped_anomalies_skipped(self):
+        items = [anomaly(None), anomaly(100)]
+        clusters = cluster_anomalies(items)
+        assert len(clusters) == 1
+        assert clusters[0].size == 1
+
+    def test_empty_input(self):
+        assert cluster_anomalies([]) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cluster_anomalies([], max_gap_millis=0)
+        with pytest.raises(ValueError):
+            cluster_anomalies([], min_cluster_size=0)
+
+
+class TestClusterProperties:
+    def test_density(self):
+        cluster = AnomalyCluster(0, 60_000, [anomaly(0)] * 30)
+        assert cluster.density_per_minute == pytest.approx(30.0)
+
+    def test_zero_span_density_is_finite(self):
+        cluster = AnomalyCluster(5, 5, [anomaly(5)])
+        assert cluster.density_per_minute > 0
+
+    def test_to_dict(self):
+        cluster = AnomalyCluster(0, 1_000, [anomaly(0), anomaly(1_000)])
+        assert cluster.to_dict() == {
+            "start_millis": 0,
+            "end_millis": 1_000,
+            "size": 2,
+            "span_millis": 1_000,
+        }
+
+
+class TestEndToEndWithSS7:
+    def test_ss7_anomalies_form_expected_clusters(self):
+        from repro.core.pipeline import LogLens
+        from repro.datasets.ss7 import generate_ss7
+
+        dataset = generate_ss7(
+            train_events=100, test_normal_events=40, attack_count=24,
+            n_clusters=4,
+        )
+        lens = LogLens().fit(dataset.train)
+        anomalies = lens.detect(dataset.test, flush_open_events=True)
+        clusters = cluster_anomalies(
+            anomalies, max_gap_millis=120_000, min_cluster_size=3
+        )
+        assert len(clusters) == 4
+        assert sum(c.size for c in clusters) == 24

@@ -1,0 +1,85 @@
+"""Unit tests for the format-diverse corpora (D3–D6, SQL)."""
+
+from repro.datasets.base import TemplateCorpus
+from repro.datasets.corpora import (
+    generate_corpus,
+    generate_d3,
+    generate_d4,
+    generate_d5,
+    generate_d6,
+)
+from repro.datasets.sql_app import generate_sql_app
+
+
+class TestTemplateCorpus:
+    def test_template_count(self):
+        corpus = TemplateCorpus(25, ["alpha", "beta", "gamma"], seed=1)
+        assert corpus.template_count == 25
+
+    def test_render_cycles_templates(self):
+        corpus = TemplateCorpus(5, ["word"], seed=1)
+        logs = corpus.render(10)
+        assert len(logs) == 10
+
+    def test_deterministic(self):
+        a = TemplateCorpus(5, ["w"], seed=2).render(20)
+        b = TemplateCorpus(5, ["w"], seed=2).render(20)
+        assert a == b
+
+    def test_unique_tag_per_template(self):
+        corpus = TemplateCorpus(10, ["w"], seed=1)
+        logs = corpus.render(10)
+        tags = {log.split()[2] for log in logs}  # after ts (2 tokens)
+        assert len(tags) == 10
+
+    def test_timestamps_lead_each_line(self):
+        corpus = TemplateCorpus(3, ["w"], seed=1)
+        for log in corpus.render(6):
+            assert log[:4].isdigit() and log[4] == "/"
+
+    def test_no_timestamp_mode(self):
+        corpus = TemplateCorpus(3, ["w"], seed=1, with_timestamp=False)
+        for log in corpus.render(3):
+            assert not log[:4].isdigit() or "/" not in log[:11]
+
+
+class TestPaperCorpora:
+    def test_pattern_count_knobs(self):
+        """The pattern-count knob of Table III/IV is exact."""
+        assert generate_d3(n_logs=301).template_count == 301
+        assert generate_d4(n_logs=100).template_count == 3234
+        assert generate_d5(n_logs=243).template_count == 243
+        assert generate_d6(n_logs=100).template_count == 2012
+
+    def test_train_equals_test(self):
+        """The paper's sanity-check setup uses the same logs twice."""
+        ds = generate_d5(n_logs=500)
+        assert ds.train == ds.test
+        assert ds.train is not ds.test
+
+    def test_custom_corpus(self):
+        ds = generate_corpus("X", 7, 21, ["a", "b"], seed=9)
+        assert ds.template_count == 7
+        assert len(ds.train) == 21
+
+
+class TestSqlApp:
+    def test_structure_count(self):
+        ds = generate_sql_app(n_structures=30, logs_per_structure=2)
+        assert ds.template_count == 30
+        assert len(ds.train) == 60
+
+    def test_lines_look_like_the_case_study(self):
+        ds = generate_sql_app(n_structures=5, logs_per_structure=1)
+        for line in ds.train:
+            assert "SQL SELECT TABLE:" in line
+            assert "WHERE:" in line
+
+    def test_deterministic(self):
+        a = generate_sql_app(n_structures=10, seed=4).train
+        b = generate_sql_app(n_structures=10, seed=4).train
+        assert a == b
+
+    def test_variable_values_differ_between_renders(self):
+        ds = generate_sql_app(n_structures=1, logs_per_structure=2)
+        assert ds.train[0] != ds.train[1]

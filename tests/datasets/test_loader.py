@@ -1,0 +1,81 @@
+"""Unit tests for user log-file loading utilities."""
+
+import pytest
+
+from repro.datasets.loader import (
+    read_log_file,
+    split_by_time,
+    split_train_test,
+)
+from repro.parsing.timestamps import parse_canonical
+
+
+class TestReadLogFile:
+    def test_reads_and_skips_blanks(self, tmp_path):
+        path = tmp_path / "a.log"
+        path.write_text("one\n\n  \ntwo\n")
+        assert read_log_file(path) == ["one", "two"]
+
+    def test_max_lines(self, tmp_path):
+        path = tmp_path / "a.log"
+        path.write_text("\n".join("l%d" % i for i in range(10)))
+        assert read_log_file(path, max_lines=3) == ["l0", "l1", "l2"]
+
+    def test_bad_bytes_replaced(self, tmp_path):
+        path = tmp_path / "a.log"
+        path.write_bytes(b"ok line\nbad \xff\xfe bytes\n")
+        lines = read_log_file(path)
+        assert len(lines) == 2
+        assert "ok line" in lines
+
+
+class TestSplitTrainTest:
+    def test_positional_split(self):
+        train, test = split_train_test(["a", "b", "c", "d"], 0.5)
+        assert train == ["a", "b"]
+        assert test == ["c", "d"]
+
+    def test_uneven_split(self):
+        train, test = split_train_test(list("abcde"), 0.6)
+        assert train == ["a", "b", "c"]
+        assert test == ["d", "e"]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_train_test(["a"], 0.0)
+        with pytest.raises(ValueError):
+            split_train_test(["a"], 1.0)
+
+
+class TestSplitByTime:
+    def test_chronological_cut(self):
+        cutoff = parse_canonical("2016/05/09 12:00:00.000")
+        logs = [
+            "2016/05/09 10:00:00 early event",
+            "2016/05/09 11:59:59 still early",
+            "2016/05/09 12:00:00 boundary event",
+            "2016/05/09 13:00:00 late event",
+        ]
+        before, after = split_by_time(logs, cutoff)
+        assert len(before) == 2
+        assert len(after) == 2
+        assert "boundary" in after[0]
+
+    def test_unstamped_lines_follow_neighbours(self):
+        cutoff = parse_canonical("2016/05/09 12:00:00.000")
+        logs = [
+            "2016/05/09 10:00:00 first",
+            "    continuation without timestamp",
+            "2016/05/09 13:00:00 second",
+            "    its continuation",
+        ]
+        before, after = split_by_time(logs, cutoff)
+        assert before == logs[:2]
+        assert after == logs[2:]
+
+    def test_leading_unstamped_lines_go_to_train(self):
+        cutoff = parse_canonical("2016/05/09 12:00:00.000")
+        logs = ["no stamp at all", "2016/05/09 13:00:00 stamped"]
+        before, after = split_by_time(logs, cutoff)
+        assert before == ["no stamp at all"]
+        assert after == ["2016/05/09 13:00:00 stamped"]

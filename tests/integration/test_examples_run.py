@@ -1,0 +1,30 @@
+"""Every example must run clean — examples are executable documentation.
+
+Each script ends with assertions and an ``OK`` line; this harness runs
+them as subprocesses so a drifting API breaks the build, not the reader.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+_EXAMPLES = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    assert len(_EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "OK" in result.stdout, script

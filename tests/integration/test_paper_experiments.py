@@ -1,0 +1,150 @@
+"""Integration tests pinning the paper's experimental results.
+
+These run the full pipeline (tokenize → discover → parse → learn →
+detect) on reduced-scale versions of the paper's datasets and assert the
+exact counts of Figures 4/5 and Table V.  The benchmarks regenerate the
+same numbers at paper scale.
+"""
+
+import pytest
+
+from repro.core.pipeline import LogLens
+from repro.datasets.ss7 import generate_ss7
+from repro.datasets.synthetic import generate_d2
+from repro.datasets.trace import generate_d1
+
+SCALE = 60  # events per workflow — enough for stable learning, fast in CI
+
+
+@pytest.fixture(scope="module")
+def d1():
+    dataset = generate_d1(events_per_workflow=SCALE)
+    lens = LogLens().fit(dataset.train)
+    return dataset, lens
+
+
+@pytest.fixture(scope="module")
+def d2():
+    dataset = generate_d2(events_per_workflow=SCALE)
+    lens = LogLens().fit(dataset.train)
+    return dataset, lens
+
+
+class TestFigure4Accuracy:
+    """Figure 4: 100% recall — 21/21 on D1, 13/13 on D2."""
+
+    def test_d1_recall(self, d1):
+        dataset, lens = d1
+        anomalies = lens.detect(dataset.test, flush_open_events=True)
+        assert len(anomalies) == 21
+
+    def test_d2_recall(self, d2):
+        dataset, lens = d2
+        anomalies = lens.detect(dataset.test, flush_open_events=True)
+        assert len(anomalies) == 13
+
+    def test_d1_no_false_positives_on_clean_replay(self, d1):
+        dataset, lens = d1
+        anomalies = lens.detect(dataset.train, flush_open_events=True)
+        assert anomalies == []
+
+    def test_d2_no_false_positives_on_clean_replay(self, d2):
+        dataset, lens = d2
+        anomalies = lens.detect(dataset.train, flush_open_events=True)
+        assert anomalies == []
+
+
+class TestFigure5Heartbeat:
+    """Figure 5: w/o HB 20 (D1) and 10 (D2); with HB 21 and 13."""
+
+    def test_d1_without_heartbeat(self, d1):
+        dataset, lens = d1
+        anomalies = lens.detect(dataset.test, flush_open_events=False)
+        assert len(anomalies) == 20
+
+    def test_d2_without_heartbeat(self, d2):
+        dataset, lens = d2
+        anomalies = lens.detect(dataset.test, flush_open_events=False)
+        assert len(anomalies) == 10
+
+    def test_extra_anomalies_are_missing_end(self, d2):
+        dataset, lens = d2
+        with_hb = lens.detect(dataset.test, flush_open_events=True)
+        without_hb = lens.detect(dataset.test, flush_open_events=False)
+        extra = len(with_hb) - len(without_hb)
+        missing_ends = sum(
+            1 for a in with_hb if a.type.value == "missing_end"
+        )
+        assert extra == missing_ends == 3
+
+
+class TestTableVModelUpdate:
+    """Table V: delete one automaton — D1 21→13, D2 13→9."""
+
+    def test_d1_model_structure(self, d1):
+        _, lens = d1
+        assert len(lens.sequence_model) == 2
+
+    def test_d2_model_structure(self, d2):
+        _, lens = d2
+        assert len(lens.sequence_model) == 3
+
+    def _count_after_delete(self, dataset, lens, automaton_id):
+        reduced = lens.sequence_model.without(automaton_id)
+        clone = LogLens(lens.config)
+        clone._pattern_model = lens.pattern_model
+        clone._sequence_model = reduced
+        return len(clone.detect(dataset.test, flush_open_events=True))
+
+    def test_d1_delete_drops_21_to_13(self, d1):
+        dataset, lens = d1
+        counts = {
+            a.automaton_id: self._count_after_delete(
+                dataset, lens, a.automaton_id
+            )
+            for a in lens.sequence_model
+        }
+        assert 13 in counts.values()
+
+    def test_d2_delete_drops_13_to_9(self, d2):
+        dataset, lens = d2
+        counts = {
+            a.automaton_id: self._count_after_delete(
+                dataset, lens, a.automaton_id
+            )
+            for a in lens.sequence_model
+        }
+        assert 9 in counts.values()
+
+
+class TestSS7CaseStudy:
+    """Section VII-B: spoofing attacks = missing InvokeUpdateLocation."""
+
+    def test_all_attacks_detected(self):
+        dataset = generate_ss7(
+            train_events=120, test_normal_events=60, attack_count=25,
+            n_clusters=4,
+        )
+        lens = LogLens().fit(dataset.train)
+        anomalies = lens.detect(dataset.test, flush_open_events=True)
+        missing_end = [
+            a for a in anomalies if a.type.value == "missing_end"
+        ]
+        assert len(missing_end) == 25
+        # No false alarms on normal protocol exchanges.
+        assert len(anomalies) == 25
+
+    def test_anomalies_cluster_temporally(self):
+        dataset = generate_ss7(
+            train_events=100, test_normal_events=40, attack_count=20,
+            n_clusters=4,
+        )
+        lens = LogLens().fit(dataset.train)
+        anomalies = lens.detect(dataset.test, flush_open_events=True)
+        in_window = 0
+        for anomaly in anomalies:
+            ts = anomaly.timestamp_millis
+            if any(lo <= ts <= hi + 60_000
+                   for lo, hi in dataset.cluster_windows):
+                in_window += 1
+        assert in_window == len(anomalies)

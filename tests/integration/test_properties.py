@@ -1,0 +1,148 @@
+"""Property-based tests over the whole parsing/detection pipeline."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import LogLens
+from repro.parsing.logmine import PatternDiscoverer
+from repro.parsing.parser import FastLogParser, ParsedLog, PatternModel
+from repro.parsing.tokenizer import Tokenizer
+from repro.sequence.model import SequenceModel
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "omega"]
+_VERBS = ["start", "stop", "checkpoint", "resume"]
+
+
+@st.composite
+def log_corpus(draw):
+    """A corpus of structured lines from a few implicit templates."""
+    n_templates = draw(st.integers(min_value=1, max_value=4))
+    templates = []
+    for t in range(n_templates):
+        literals = draw(
+            st.lists(st.sampled_from(_WORDS), min_size=1, max_size=3)
+        )
+        templates.append((t, literals))
+    lines = []
+    n_lines = draw(st.integers(min_value=2, max_value=25))
+    rng = random.Random(draw(st.integers(0, 2**16)))
+    for _ in range(n_lines):
+        t, literals = rng.choice(templates)
+        lines.append(
+            "tmpl%d %s count %d host 10.0.%d.%d"
+            % (
+                t,
+                " ".join(literals),
+                rng.randint(0, 10**6),
+                rng.randint(0, 254),
+                rng.randint(1, 254),
+            )
+        )
+    return lines
+
+
+class TestDiscoveryParseClosure:
+    @given(corpus=log_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_every_training_log_parses(self, corpus):
+        """Invariant: train == test ⇒ zero stateless anomalies."""
+        tokenizer = Tokenizer()
+        patterns = PatternDiscoverer().discover(
+            tokenizer.tokenize_many(corpus)
+        )
+        parser = FastLogParser(PatternModel(patterns), tokenizer=tokenizer)
+        results = parser.parse_all(corpus)
+        assert all(isinstance(r, ParsedLog) for r in results)
+
+    @given(corpus=log_corpus())
+    @settings(max_examples=20, deadline=None)
+    def test_pattern_model_serialisation_preserves_parsing(self, corpus):
+        """Round-tripping the model never changes parse decisions."""
+        tokenizer = Tokenizer()
+        patterns = PatternDiscoverer().discover(
+            tokenizer.tokenize_many(corpus)
+        )
+        original = PatternModel(patterns)
+        restored = PatternModel.from_dict(original.to_dict())
+        a = FastLogParser(original, tokenizer=Tokenizer())
+        b = FastLogParser(restored, tokenizer=Tokenizer())
+        for line in corpus:
+            ra, rb = a.parse(line), b.parse(line)
+            assert isinstance(ra, ParsedLog) == isinstance(rb, ParsedLog)
+            if isinstance(ra, ParsedLog):
+                assert ra.fields == rb.fields
+
+
+class TestDetectorDeterminism:
+    def _event(self, eid, minute, finish=True):
+        lines = [
+            "2016/05/09 12:%02d:01 pump START batch %s vol 1234567"
+            % (minute, eid),
+            "2016/05/09 12:%02d:03 mixer processing batch %s rpm 7654321"
+            % (minute, eid),
+        ]
+        if finish:
+            lines.append(
+                "2016/05/09 12:%02d:05 pump batch %s SEALED ok"
+                % (minute, eid)
+            )
+        return lines
+
+    @given(
+        bad_positions=st.sets(
+            st.integers(min_value=0, max_value=9), max_size=4
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_anomaly_count_equals_injected_incomplete_events(
+        self, bad_positions
+    ):
+        """Whatever subset of events we break, detection finds exactly
+        that many anomalies — no more, no fewer."""
+        train = []
+        for i in range(10):
+            train += self._event("b-%03d" % i, i % 58)
+        lens = LogLens().fit(train)
+        test = []
+        for i in range(10):
+            test += self._event(
+                "t-%03d" % i, i % 58, finish=i not in bad_positions
+            )
+        anomalies = lens.detect(test, flush_open_events=True)
+        assert len(anomalies) == len(bad_positions)
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_shuffled_event_order_same_count(self, seed):
+        """Interleaving whole events differently never changes counts."""
+        train = []
+        for i in range(8):
+            train += self._event("b-%03d" % i, i % 58)
+        lens = LogLens().fit(train)
+        events = [
+            self._event("t-%03d" % i, i % 58, finish=i % 3 != 0)
+            for i in range(6)
+        ]
+        rng = random.Random(seed)
+        rng.shuffle(events)
+        test = [line for event in events for line in event]
+        anomalies = lens.detect(test, flush_open_events=True)
+        assert len(anomalies) == 2  # events 0 and 3 lack their end
+
+
+class TestSequenceModelRoundtrip:
+    def test_detection_identical_after_json_roundtrip(self):
+        train = []
+        lines = []
+        for i in range(8):
+            eid = "r-%03d" % i
+            train += [
+                "2016/05/09 13:%02d:01 svc BEGIN op %s from 10.1.1.1"
+                % (i, eid),
+                "2016/05/09 13:%02d:04 svc END op %s rc 1234567"
+                % (i, eid),
+            ]
+        lens = LogLens().fit(train)
+        restored = SequenceModel.from_json(lens.sequence_model.to_json())
+        assert restored.to_dict() == lens.sequence_model.to_dict()

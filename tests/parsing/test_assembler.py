@@ -1,0 +1,113 @@
+"""Unit tests for multi-line log assembly."""
+
+import pytest
+
+from repro.parsing.assembler import LineAssembler
+
+
+class TestTimestampAnchor:
+    def setup_method(self):
+        self.assembler = LineAssembler(anchor="timestamp")
+
+    def test_single_line_records(self):
+        lines = [
+            "2016/05/09 10:00:01 event one",
+            "2016/05/09 10:00:02 event two",
+        ]
+        assert self.assembler.assemble_all(lines) == lines
+
+    def test_stack_trace_joined(self):
+        lines = [
+            "2016/05/09 10:00:01 app ERROR boom",
+            "Traceback (most recent call last):",
+            '  File "app.py", line 3, in main',
+            "ValueError: boom",
+            "2016/05/09 10:00:02 app recovered",
+        ]
+        records = self.assembler.assemble_all(lines)
+        assert len(records) == 2
+        assert "Traceback" in records[0]
+        assert "ValueError: boom" in records[0]
+        assert records[1] == "2016/05/09 10:00:02 app recovered"
+
+    def test_leading_continuations_kept(self):
+        lines = ["orphan line", "2016/05/09 10:00:01 real event"]
+        records = self.assembler.assemble_all(lines)
+        assert records == ["orphan line", "2016/05/09 10:00:01 real event"]
+
+    def test_blank_lines_skipped(self):
+        lines = ["2016/05/09 10:00:01 one", "", "   ", "tail of one"]
+        records = self.assembler.assemble_all(lines)
+        assert records == ["2016/05/09 10:00:01 one tail of one"]
+
+    def test_timestamp_not_at_position_zero(self):
+        lines = ["INFO 2016/05/09 10:00:01 prefixed style"]
+        assert self.assembler.assemble_all(lines) == lines
+
+    def test_max_lines_bounds_runaway_record(self):
+        assembler = LineAssembler(anchor="timestamp", max_lines=3)
+        lines = ["2016/05/09 10:00:01 start"] + ["blob"] * 7
+        records = assembler.assemble_all(lines)
+        # 1 anchor + 2 continuations, then forced cuts of 3 each: 3,3,2.
+        assert len(records) == 3
+        assert records[0].startswith("2016/05/09")
+
+
+class TestIndentAnchor:
+    def test_indented_lines_continue(self):
+        assembler = LineAssembler(anchor="indent")
+        lines = [
+            "ERROR something broke",
+            "    at com.example.Foo(Foo.java:1)",
+            "    at com.example.Bar(Bar.java:2)",
+            "INFO next event",
+        ]
+        records = assembler.assemble_all(lines)
+        assert len(records) == 2
+        assert "Foo.java" in records[0]
+
+    def test_custom_joiner(self):
+        assembler = LineAssembler(anchor="indent", joiner=" | ")
+        records = assembler.assemble_all(["a", "  b"])
+        assert records == ["a | b"]
+
+
+class TestValidation:
+    def test_bad_anchor(self):
+        with pytest.raises(ValueError):
+            LineAssembler(anchor="nope")
+
+    def test_bad_max_lines(self):
+        with pytest.raises(ValueError):
+            LineAssembler(max_lines=0)
+
+    def test_lazy_iteration(self):
+        assembler = LineAssembler(anchor="indent")
+        iterator = assembler.assemble(iter(["a", " b", "c"]))
+        assert next(iterator) == "a b"
+
+
+class TestEndToEnd:
+    def test_assembled_records_flow_through_detection(self):
+        """Stack traces stop being per-line anomaly spam."""
+        from repro.core.pipeline import LogLens
+
+        train = [
+            "2016/05/09 10:%02d:01 app request %d handled" % (i, i)
+            for i in range(6)
+        ]
+        lens = LogLens().fit(train)
+        raw_stream = [
+            "2016/05/09 11:00:01 app request 99 handled",
+            "2016/05/09 11:00:02 app crash while rendering",
+            "Traceback (most recent call last):",
+            "  File x.py line 1",
+            "KeyError: 'boom'",
+        ]
+        # Without assembly: 4 unparsed anomalies (crash + 3 trace lines).
+        assert len(lens.detect(raw_stream)) == 4
+        # With assembly: the whole crash is one anomaly record.
+        assembled = LineAssembler().assemble_all(raw_stream)
+        anomalies = lens.detect(assembled)
+        assert len(anomalies) == 1
+        assert "KeyError" in anomalies[0].logs[0]

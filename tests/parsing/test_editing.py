@@ -1,0 +1,175 @@
+"""Unit tests for the four user editing operations (Section III-A4)."""
+
+import pytest
+
+from repro.parsing.editing import (
+    EditError,
+    PatternSetEditor,
+    generalize_literal,
+    merge_into_anydata,
+    rename_field,
+    set_field_datatype,
+    specialize_field,
+)
+from repro.parsing.grok import GrokPattern
+from repro.parsing.tokenizer import Tokenizer
+
+TOKENIZER = Tokenizer()
+
+
+def tl(raw):
+    return TOKENIZER.tokenize(raw)
+
+
+class TestRenameField:
+    def test_paper_logtime_example(self):
+        pattern = GrokPattern.from_string("%{DATETIME:P1F1} %{IP:P1F2} up")
+        out = rename_field(pattern, "P1F1", "logTime")
+        assert out.to_string() == "%{DATETIME:logTime} %{IP:P1F2} up"
+
+    def test_unknown_field_raises(self):
+        pattern = GrokPattern.from_string("%{WORD:a}")
+        with pytest.raises(EditError):
+            rename_field(pattern, "nope", "x")
+
+    def test_collision_raises(self):
+        pattern = GrokPattern.from_string("%{WORD:a} %{WORD:b}")
+        with pytest.raises(EditError):
+            rename_field(pattern, "a", "b")
+
+    def test_original_unchanged(self):
+        pattern = GrokPattern.from_string("%{WORD:a}")
+        rename_field(pattern, "a", "b")
+        assert pattern.fields[0].name == "a"
+
+
+class TestSpecializeField:
+    def test_paper_ip_example(self):
+        """Specialize %{IP:P1F2} to the fixed value 127.0.0.1."""
+        pattern = GrokPattern.from_string("%{DATETIME:P1F1} %{IP:P1F2} up")
+        out = specialize_field(pattern, "P1F2", "127.0.0.1")
+        assert out.to_string() == "%{DATETIME:P1F1} 127.0.0.1 up"
+
+    def test_specialized_pattern_rejects_other_values(self):
+        pattern = GrokPattern.from_string("%{IP:ip} up")
+        out = specialize_field(pattern, "ip", "127.0.0.1")
+        assert out.match(tl("127.0.0.1 up")) == {}
+        assert out.match(tl("10.0.0.1 up")) is None
+
+
+class TestGeneralizeLiteral:
+    def test_paper_user1_example(self):
+        """Generalize 'user1' to %{NOTSPACE:userName}."""
+        pattern = GrokPattern.from_string("%{WORD:a} login user1")
+        out = generalize_literal(pattern, 2, "NOTSPACE", "userName")
+        assert out.to_string() == "%{WORD:a} login %{NOTSPACE:userName}"
+        assert out.match(tl("x login user9")) == {
+            "a": "x", "userName": "user9"
+        }
+
+    def test_generalize_non_literal_raises(self):
+        pattern = GrokPattern.from_string("%{WORD:a} x")
+        with pytest.raises(EditError):
+            generalize_literal(pattern, 0, "NOTSPACE", "n")
+
+    def test_out_of_range_raises(self):
+        pattern = GrokPattern.from_string("a")
+        with pytest.raises(EditError):
+            generalize_literal(pattern, 5, "WORD", "n")
+
+    def test_datatype_must_cover_literal(self):
+        pattern = GrokPattern.from_string("x user1")
+        with pytest.raises(EditError):
+            generalize_literal(pattern, 1, "NUMBER", "n")
+
+    def test_unknown_datatype_raises(self):
+        pattern = GrokPattern.from_string("x y")
+        with pytest.raises(EditError):
+            generalize_literal(pattern, 1, "NOPE", "n")
+
+
+class TestSetDatatypeAndAnydata:
+    def test_widen_to_anydata(self):
+        pattern = GrokPattern.from_string("%{WORD:msg} end")
+        out = set_field_datatype(pattern, "msg", "ANYDATA")
+        assert out.match(tl("a end")) == {"msg": "a"}
+
+    def test_merge_into_anydata(self):
+        """The 'multiple tokens under one field' edit."""
+        pattern = GrokPattern.from_string("ERROR %{WORD:a} %{WORD:b} code")
+        out = merge_into_anydata(pattern, 1, 2, "message")
+        assert out.to_string() == "ERROR %{ANYDATA:message} code"
+        assert out.match(tl("ERROR one two three code")) == {
+            "message": "one two three"
+        }
+
+    def test_merge_invalid_range(self):
+        pattern = GrokPattern.from_string("a b")
+        with pytest.raises(EditError):
+            merge_into_anydata(pattern, 1, 0, "m")
+        with pytest.raises(EditError):
+            merge_into_anydata(pattern, 0, 9, "m")
+
+
+class TestPatternSetEditor:
+    def _patterns(self):
+        return [
+            GrokPattern.from_string("%{WORD:P1F1} login", pattern_id=1),
+            GrokPattern.from_string("%{WORD:P2F1} logout", pattern_id=2),
+        ]
+
+    def test_rename_through_editor(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.rename_field(1, "P1F1", "user")
+        result = editor.result()
+        assert result[0].fields[0].name == "user"
+        assert result[1].fields[0].name == "P2F1"
+
+    def test_delete_preserves_ids(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.delete_pattern(1)
+        result = editor.result()
+        assert [p.pattern_id for p in result] == [2]
+
+    def test_delete_unknown_raises(self):
+        editor = PatternSetEditor(self._patterns())
+        with pytest.raises(EditError):
+            editor.delete_pattern(9)
+
+    def test_add_allocates_fresh_id(self):
+        editor = PatternSetEditor(self._patterns())
+        added = editor.add_pattern("%{NUMBER:n} events")
+        assert added.pattern_id == 3
+
+    def test_add_after_delete_does_not_reuse_id(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.delete_pattern(2)
+        added = editor.add_pattern("fresh %{WORD:w}")
+        assert added.pattern_id == 3
+
+    def test_audit_trail(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.rename_field(1, "P1F1", "user")
+        editor.delete_pattern(2)
+        editor.add_pattern("x %{WORD:w}")
+        assert [e.operation for e in editor.audit] == [
+            "rename", "delete", "add"
+        ]
+
+    def test_specialize_and_generalize_via_editor(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.specialize_field(1, "P1F1", "admin")
+        editor.generalize_literal(2, 1, "WORD", "action")
+        result = editor.result()
+        assert result[0].to_string() == "admin login"
+        assert result[1].to_string() == "%{WORD:P2F1} %{WORD:action}"
+
+    def test_set_field_datatype_via_editor(self):
+        editor = PatternSetEditor(self._patterns())
+        editor.set_field_datatype(1, "P1F1", "NOTSPACE")
+        assert editor.result()[0].fields[0].datatype == "NOTSPACE"
+
+    def test_get_unknown_pattern_raises(self):
+        editor = PatternSetEditor([])
+        with pytest.raises(EditError):
+            editor.get(1)

@@ -1,0 +1,76 @@
+"""Unit tests for field-ID assignment and renaming heuristics."""
+
+from repro.parsing.fields import (
+    assign_field_ids,
+    generic_field_name,
+    heuristic_rename,
+)
+from repro.parsing.grok import Field, GrokPattern, Literal
+
+
+class TestGenericNames:
+    def test_format(self):
+        assert generic_field_name(1, 1) == "P1F1"
+        assert generic_field_name(12, 3) == "P12F3"
+
+    def test_assign_ids(self):
+        patterns = [
+            GrokPattern([Field("WORD", "f"), Literal("x"), Field("IP", "f")]),
+            GrokPattern([Field("NUMBER", "f")]),
+        ]
+        out = assign_field_ids(patterns)
+        assert out[0].pattern_id == 1
+        assert [f.name for f in out[0].fields] == ["P1F1", "P1F2"]
+        assert out[1].pattern_id == 2
+        assert [f.name for f in out[1].fields] == ["P2F1"]
+
+    def test_inputs_not_mutated(self):
+        pattern = GrokPattern([Field("WORD", "original")])
+        assign_field_ids([pattern])
+        assert pattern.fields[0].name == "original"
+
+    def test_datatypes_preserved(self):
+        out = assign_field_ids([GrokPattern([Field("IP", "f")])])
+        assert out[0].fields[0].datatype == "IP"
+
+
+class TestRenameHeuristics:
+    def test_paper_pdu_example(self):
+        """'PDU = %{NUMBER:P1F1}' renames to 'PDU = %{NUMBER:PDU}'."""
+        pattern = GrokPattern.from_string("PDU = %{NUMBER:P1F1}")
+        renamed = heuristic_rename(pattern)
+        assert renamed.to_string() == "PDU = %{NUMBER:PDU}"
+
+    def test_colon_separator(self):
+        pattern = GrokPattern.from_string("status : %{WORD:P1F1}")
+        assert heuristic_rename(pattern).fields[0].name == "status"
+
+    def test_glued_separator(self):
+        pattern = GrokPattern.from_string("user= %{NOTSPACE:P1F1}")
+        assert heuristic_rename(pattern).fields[0].name == "user"
+
+    def test_no_heuristic_keeps_generic_name(self):
+        pattern = GrokPattern.from_string("%{WORD:P1F1} %{WORD:P1F2}")
+        renamed = heuristic_rename(pattern)
+        assert [f.name for f in renamed.fields] == ["P1F1", "P1F2"]
+
+    def test_collision_is_skipped(self):
+        pattern = GrokPattern.from_string(
+            "a = %{WORD:P1F1} a = %{WORD:P1F2}"
+        )
+        renamed = heuristic_rename(pattern)
+        names = [f.name for f in renamed.fields]
+        assert names[0] == "a"
+        assert names[1] == "P1F2"  # would collide with the first rename
+
+    def test_invalid_key_not_used(self):
+        pattern = GrokPattern.from_string("123 = %{WORD:P1F1}")
+        assert heuristic_rename(pattern).fields[0].name == "P1F1"
+
+    def test_bracketed_key_cleaned(self):
+        pattern = GrokPattern.from_string("[level] : %{WORD:P1F1}")
+        assert heuristic_rename(pattern).fields[0].name == "level"
+
+    def test_bare_separator_at_start(self):
+        pattern = GrokPattern.from_string("= %{WORD:P1F1}")
+        assert heuristic_rename(pattern).fields[0].name == "P1F1"

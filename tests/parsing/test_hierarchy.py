@@ -1,0 +1,124 @@
+"""Unit tests for hierarchical pattern discovery."""
+
+import pytest
+
+from repro.parsing.hierarchy import HierarchyDiscoverer, PatternHierarchy
+from repro.parsing.tokenizer import Tokenizer
+
+TOKENIZER = Tokenizer()
+
+
+def corpus():
+    lines = []
+    # Two tight families that merge at looser thresholds.
+    for i in range(5):
+        lines.append("disk sda%d read %d sectors" % (i, 1000 + i))
+        lines.append("disk sda%d write %d sectors" % (i, 2000 + i))
+        lines.append("net eth%d rx %d packets" % (i, 300 + i))
+        lines.append("net eth%d tx %d packets" % (i, 400 + i))
+    return TOKENIZER.tokenize_many(lines)
+
+
+class TestHierarchyConstruction:
+    def test_levels_and_monotone_counts(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.3, 0.8)
+        ).discover(corpus())
+        assert len(hierarchy) == 3
+        counts = [len(level.patterns) for level in hierarchy.levels]
+        # Pattern count shrinks (or stays) as thresholds loosen.
+        assert counts[0] >= counts[1] >= counts[2]
+        assert counts[0] > counts[-1]
+
+    def test_leaves_and_roots(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.5)
+        ).discover(corpus())
+        assert hierarchy.leaves == hierarchy.patterns_at(0)
+        assert hierarchy.roots == hierarchy.patterns_at(1)
+
+    def test_every_child_has_a_parent(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.3, 0.8)
+        ).discover(corpus())
+        for level_idx in range(len(hierarchy) - 1):
+            for pattern in hierarchy.patterns_at(level_idx):
+                parent = hierarchy.parent(level_idx, pattern.pattern_id)
+                assert parent is not None
+
+    def test_children_inverse_of_parent(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.5)
+        ).discover(corpus())
+        for parent in hierarchy.patterns_at(1):
+            for child in hierarchy.children(1, parent.pattern_id):
+                assert hierarchy.parent(0, child.pattern_id) == parent
+
+    def test_root_parent_is_none(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.5)
+        ).discover(corpus())
+        top = len(hierarchy) - 1
+        for pattern in hierarchy.patterns_at(top):
+            assert hierarchy.parent(top, pattern.pattern_id) is None
+
+    def test_leaf_children_empty(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.5)
+        ).discover(corpus())
+        for pattern in hierarchy.leaves:
+            assert hierarchy.children(0, pattern.pattern_id) == []
+
+
+class TestHierarchySemantics:
+    def test_parents_generalise_children(self):
+        """Every log parsed by a child parses under its parent too."""
+        logs = corpus()
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.4, 0.9)
+        ).discover(logs)
+        for log in logs:
+            for level_idx in range(len(hierarchy) - 1):
+                for pattern in hierarchy.patterns_at(level_idx):
+                    if pattern.match(log) is None:
+                        continue
+                    parent = hierarchy.parent(
+                        level_idx, pattern.pattern_id
+                    )
+                    assert parent is not None
+                    assert parent.match(log) is not None, (
+                        log.raw, pattern.to_string(), parent.to_string()
+                    )
+
+    def test_every_level_covers_the_corpus(self):
+        logs = corpus()
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.0, 0.4, 0.9)
+        ).discover(logs)
+        for level in hierarchy.levels:
+            for log in logs:
+                assert any(
+                    pattern.match(log) is not None
+                    for pattern in level.patterns
+                ), (level.level, log.raw)
+
+
+class TestValidation:
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyDiscoverer(level_max_dists=())
+
+    def test_non_ascending_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchyDiscoverer(level_max_dists=(0.5, 0.1))
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            PatternHierarchy([])
+
+    def test_single_level_hierarchy(self):
+        hierarchy = HierarchyDiscoverer(
+            level_max_dists=(0.3,)
+        ).discover(corpus())
+        assert len(hierarchy) == 1
+        assert hierarchy.leaves == hierarchy.roots

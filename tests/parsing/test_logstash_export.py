@@ -1,0 +1,47 @@
+"""Unit tests for the Logstash grok-config export."""
+
+from repro.parsing.grok import GrokPattern
+from repro.parsing.parser import PatternModel
+
+
+def model(*exprs):
+    return PatternModel(
+        [
+            GrokPattern.from_string(e, pattern_id=i + 1)
+            for i, e in enumerate(exprs)
+        ]
+    )
+
+
+class TestLogstashExport:
+    def test_structure(self):
+        config = model(
+            "%{DATETIME:ts} %{IP:host} login %{NOTSPACE:user}"
+        ).to_logstash_config()
+        assert config.startswith("filter {")
+        assert "grok {" in config
+        assert "pattern_definitions" in config
+        assert 'match => { "message"' in config
+        assert config.rstrip().endswith("}")
+
+    def test_every_pattern_listed(self):
+        m = model("%{WORD:w} one", "%{WORD:w} two", "three %{NUMBER:n}")
+        config = m.to_logstash_config()
+        for pattern in m.patterns:
+            assert pattern.to_string() in config
+
+    def test_used_datatypes_defined(self):
+        config = model("%{DATETIME:ts} %{IP:h} up").to_logstash_config()
+        assert '"DATETIME" =>' in config
+        assert '"IP" =>' in config
+        assert '"WORD" =>' not in config  # unused type not emitted
+
+    def test_duplicate_datatypes_defined_once(self):
+        config = model(
+            "%{WORD:a} x", "%{WORD:b} y"
+        ).to_logstash_config()
+        assert config.count('"WORD" =>') == 1
+
+    def test_empty_model(self):
+        config = model().to_logstash_config()
+        assert "filter {" in config

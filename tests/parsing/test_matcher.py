@@ -1,0 +1,142 @@
+"""Unit + property tests for Algorithm 1 (signature matching)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parsing.datatypes import DEFAULT_REGISTRY
+from repro.parsing.matcher import is_matched, is_matched_simple
+
+
+class TestSimpleMatching:
+    def test_exact_match(self):
+        assert is_matched("DATETIME IP WORD", "DATETIME IP WORD")
+
+    def test_coverage_match(self):
+        assert is_matched("WORD NUMBER", "NOTSPACE NOTSPACE")
+
+    def test_coverage_is_directional(self):
+        assert not is_matched("NOTSPACE", "WORD")
+
+    def test_length_mismatch(self):
+        assert not is_matched("WORD WORD", "WORD")
+        assert not is_matched("WORD", "WORD WORD")
+
+    def test_empty_signatures(self):
+        assert is_matched("", "")
+        assert not is_matched("WORD", "")
+
+
+class TestWildcardMatching:
+    def test_wildcard_absorbs_run(self):
+        assert is_matched("WORD WORD WORD", "WORD ANYDATA")
+
+    def test_wildcard_absorbs_zero(self):
+        assert is_matched("WORD", "WORD ANYDATA")
+        assert is_matched("WORD", "ANYDATA WORD")
+        assert is_matched("", "ANYDATA")
+
+    def test_wildcard_in_middle(self):
+        assert is_matched(
+            "DATETIME WORD WORD NUMBER", "DATETIME ANYDATA NUMBER"
+        )
+
+    def test_wildcard_cannot_skip_required(self):
+        assert not is_matched("WORD", "ANYDATA NUMBER")
+
+    def test_multiple_wildcards(self):
+        assert is_matched(
+            "WORD NUMBER WORD NUMBER WORD",
+            "ANYDATA NUMBER ANYDATA NUMBER ANYDATA",
+        )
+
+    def test_anydata_in_log_signature_needs_anydata_pattern(self):
+        # A log token typed ANYDATA is only covered by ANYDATA.
+        assert not is_matched("ANYDATA", "WORD")
+        assert is_matched("ANYDATA", "ANYDATA")
+
+
+def _brute_force(log_sig, pattern_sig, registry):
+    """Exponential reference implementation of Algorithm 1."""
+    L = log_sig.split()
+    P = pattern_sig.split()
+
+    def rec(i, j):
+        if i == len(L) and j == len(P):
+            return True
+        if j == len(P):
+            return False
+        pj = P[j]
+        if pj == "ANYDATA":
+            # Absorb zero tokens, or absorb one and stay.
+            if rec(i, j + 1):
+                return True
+            if i < len(L) and rec(i + 1, j):
+                return True
+            return False
+        if i == len(L):
+            return False
+        li = L[i]
+        if li == pj or registry.is_covered(li, pj):
+            return rec(i + 1, j + 1)
+        return False
+
+    return rec(0, 0)
+
+
+_TYPES = st.sampled_from(
+    ["WORD", "NUMBER", "IP", "NOTSPACE", "DATETIME", "ANYDATA", "HEX"]
+)
+
+
+class TestPropertyBased:
+    @given(
+        log=st.lists(
+            st.sampled_from(["WORD", "NUMBER", "IP", "NOTSPACE", "DATETIME"]),
+            max_size=6,
+        ),
+        pattern=st.lists(_TYPES, max_size=6),
+    )
+    @settings(max_examples=400, deadline=None)
+    def test_dp_equals_brute_force(self, log, pattern):
+        log_sig = " ".join(log)
+        pattern_sig = " ".join(pattern)
+        assert is_matched(log_sig, pattern_sig) == _brute_force(
+            log_sig, pattern_sig, DEFAULT_REGISTRY
+        )
+
+    @given(
+        sig=st.lists(
+            st.sampled_from(["WORD", "NUMBER", "IP", "NOTSPACE", "DATETIME"]),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reflexivity(self, sig):
+        s = " ".join(sig)
+        assert is_matched(s, s)
+
+    @given(
+        sig=st.lists(
+            st.sampled_from(["WORD", "NUMBER", "IP", "NOTSPACE"]),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_everything_matches_single_wildcard(self, sig):
+        assert is_matched(" ".join(sig), "ANYDATA")
+
+    @given(
+        log=st.lists(
+            st.sampled_from(["WORD", "NUMBER", "IP"]), max_size=5
+        ),
+        pattern=st.lists(
+            st.sampled_from(["WORD", "NUMBER", "IP", "NOTSPACE"]),
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_simple_agrees_with_dp_without_wildcards(self, log, pattern):
+        assert is_matched_simple(log, pattern) == is_matched(
+            " ".join(log), " ".join(pattern)
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for pattern suggestion from unparsed logs."""
+
+import pytest
+
+from repro.parsing.suggest import (
+    suggest_pattern,
+    suggest_pattern_from_examples,
+)
+from repro.parsing.tokenizer import Tokenizer
+
+TOKENIZER = Tokenizer()
+
+
+class TestSingleLine:
+    def test_structured_types_become_fields(self):
+        pattern = suggest_pattern(
+            "2016/05/09 10:00:01 proxy bound 10.0.0.1 port 8080"
+        )
+        assert pattern.to_string() == (
+            "%{DATETIME:f1} proxy bound %{IP:f2} port %{NUMBER:f3}"
+        )
+
+    def test_suggested_pattern_parses_its_line(self):
+        raw = "2016/05/09 10:00:01 proxy bound 10.0.0.1 port 8080"
+        pattern = suggest_pattern(raw)
+        assert pattern.match(TOKENIZER.tokenize(raw)) is not None
+
+    def test_words_stay_literal(self):
+        pattern = suggest_pattern("service started cleanly")
+        assert pattern.to_string() == "service started cleanly"
+
+    def test_field_prefix(self):
+        pattern = suggest_pattern("count 7", field_prefix="val")
+        assert pattern.fields[0].name == "val1"
+
+    def test_hex_and_uuid(self):
+        pattern = suggest_pattern(
+            "obj 6a602aaa-9afd-4e2c-95e9-ee900dde4b50 at 0xdeadbeef"
+        )
+        assert pattern.to_string() == "obj %{UUID:f1} at %{HEX:f2}"
+
+
+class TestFromExamples:
+    def test_varying_positions_generalised(self):
+        pattern = suggest_pattern_from_examples(
+            [
+                "worker alpha finished batch tag-1",
+                "worker beta finished batch tag-2",
+            ]
+        )
+        assert pattern.to_string() == (
+            "worker %{WORD:f1} finished batch %{NOTSPACE:f2}"
+        )
+
+    def test_all_examples_parse(self):
+        raws = [
+            "2016/05/09 10:00:0%d relay fw-%d up" % (i, i) for i in range(3)
+        ]
+        pattern = suggest_pattern_from_examples(raws)
+        for raw in raws:
+            assert pattern.match(TOKENIZER.tokenize(raw)) is not None
+
+    def test_datatype_join_across_examples(self):
+        pattern = suggest_pattern_from_examples(
+            ["value abc end", "value 123 end"]
+        )
+        # WORD and NUMBER join at NOTSPACE.
+        assert pattern.to_string() == "value %{NOTSPACE:f1} end"
+
+    def test_constant_lines_stay_literal(self):
+        pattern = suggest_pattern_from_examples(["same line"] * 3)
+        assert pattern.to_string() == "same line"
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_pattern_from_examples([])
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_pattern_from_examples(["a b", "a b c"])
+
+
+class TestReviewLoop:
+    def test_unparsed_anomaly_to_accepted_pattern(self):
+        """The full operator loop: anomaly -> suggestion -> edit -> parse."""
+        from repro.core.pipeline import LogLens
+        from repro.parsing.parser import ParsedLog
+
+        train = [
+            "2016/05/09 10:%02d:01 app ping seq %d" % (i, i)
+            for i in range(5)
+        ]
+        lens = LogLens().fit(train)
+        new_format = "2016/05/09 11:00:00 appv2 handled 42 calls"
+        anomalies = lens.detect([new_format])
+        assert len(anomalies) == 1  # unparsed
+
+        suggestion = suggest_pattern(anomalies[0].logs[0])
+        editor = lens.edit_patterns()
+        editor.add_pattern(suggestion.to_string())
+        lens.apply_pattern_edits(editor)
+        result = lens.parse(new_format)
+        assert isinstance(result, ParsedLog)

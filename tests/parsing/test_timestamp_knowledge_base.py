@@ -1,0 +1,110 @@
+"""Every format in the 89-entry knowledge base must round-trip.
+
+A miniature SimpleDateFormat *renderer* (the inverse of the detector's
+format compiler) renders a reference instant in each knowledge-base
+format; the detector must identify every rendering and, where the format
+is unambiguous, normalise it back to the reference instant.
+"""
+
+import pytest
+
+from repro.parsing.timestamps import (
+    TimestampDetector,
+    build_default_formats,
+)
+
+_MONTHS = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+# Reference instant: 2016-02-23 09:07:31.123 (Tuesday); day > 12 so
+# MM/dd vs dd/MM renderings stay unambiguous.
+_REF = {
+    "year": 2016, "month": 2, "day": 23,
+    "hour": 9, "minute": 7, "second": 31, "milli": 123,
+    "weekday": "Tue", "weekday_full": "Tuesday",
+    "epoch_seconds": 1456218451, "epoch_millis": 1456218451123,
+}
+
+_TOKEN_RENDER = [
+    ("SSSSSS", lambda r: "%03d000" % r["milli"]),
+    ("yyyy", lambda r: "%04d" % r["year"]),
+    ("SSS", lambda r: "%03d" % r["milli"]),
+    ("MMMM", lambda r: _MONTHS[r["month"] - 1]),
+    ("MMM", lambda r: _MONTHS[r["month"] - 1][:3]),
+    ("EEEE", lambda r: r["weekday_full"]),
+    ("EEE", lambda r: r["weekday"]),
+    ("yy", lambda r: "%02d" % (r["year"] % 100)),
+    ("MM", lambda r: "%02d" % r["month"]),
+    ("dd", lambda r: "%02d" % r["day"]),
+    ("HH", lambda r: "%02d" % r["hour"]),
+    ("mm", lambda r: "%02d" % r["minute"]),
+    ("ss", lambda r: "%02d" % r["second"]),
+    ("M", lambda r: str(r["month"])),
+    ("d", lambda r: str(r["day"])),
+    ("H", lambda r: str(r["hour"])),
+]
+
+
+def render_sdf(sdf: str, ref=_REF) -> str:
+    """Render a SimpleDateFormat string for the reference instant."""
+    if sdf == "EPOCH_SECONDS":
+        return str(ref["epoch_seconds"])
+    if sdf == "EPOCH_MILLIS":
+        return str(ref["epoch_millis"])
+    out = []
+    i = 0
+    while i < len(sdf):
+        if sdf[i] == "'":
+            end = sdf.index("'", i + 1)
+            out.append(sdf[i + 1:end])
+            i = end + 1
+            continue
+        for token, renderer in _TOKEN_RENDER:
+            if sdf.startswith(token, i):
+                out.append(renderer(ref))
+                i += len(token)
+                break
+        else:
+            out.append(sdf[i])
+            i += 1
+    return "".join(out)
+
+
+# Formats whose normalisation cannot recover the full reference instant.
+_LOSSY = {
+    sdf
+    for sdf in build_default_formats()
+    if "yyyy" not in sdf and "yy" not in sdf  # year-less / time-only
+}
+# Epoch formats are exact, not lossy.
+_LOSSY -= {"EPOCH_SECONDS", "EPOCH_MILLIS"}
+
+
+@pytest.mark.parametrize("sdf", build_default_formats())
+def test_format_roundtrip(sdf):
+    rendered = render_sdf(sdf)
+    tokens = rendered.split(" ")
+    detector = TimestampDetector(
+        default_year=_REF["year"],
+        default_date=(_REF["year"], _REF["month"], _REF["day"]),
+    )
+    match = detector.identify(tokens, 0)
+    assert match is not None, (sdf, rendered)
+    assert match.tokens_consumed == len(tokens), (sdf, rendered)
+    # Unambiguous formats must normalise to the exact reference instant.
+    if sdf not in _LOSSY:
+        expected_date = "2016/02/23"
+        assert match.normalized.startswith(expected_date), (
+            sdf, rendered, match.normalized
+        )
+        if "HH" in sdf or "H" in sdf:
+            assert " 09:" in match.normalized, (sdf, match.normalized)
+
+
+def test_renderer_sanity():
+    assert render_sdf("yyyy/MM/dd HH:mm:ss") == "2016/02/23 09:07:31"
+    assert render_sdf("MMM dd, yyyy HH:mm:ss") == "Feb 23, 2016 09:07:31"
+    assert render_sdf("yyyy-MM-dd'T'HH:mm:ss") == "2016-02-23T09:07:31"
+    assert render_sdf("EPOCH_SECONDS") == "1456218451"

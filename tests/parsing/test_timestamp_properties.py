@@ -1,0 +1,102 @@
+"""Property-based tests: timestamp render → identify round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parsing.timestamps import (
+    TimestampDetector,
+    format_epoch_millis,
+    parse_canonical,
+)
+
+_MONTH_NAMES = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+]
+
+# Valid civil date-times (day capped at 28 to stay valid in every month).
+_datetimes = st.tuples(
+    st.integers(min_value=1971, max_value=2037),  # year
+    st.integers(min_value=1, max_value=12),       # month
+    st.integers(min_value=1, max_value=28),       # day
+    st.integers(min_value=0, max_value=23),       # hour
+    st.integers(min_value=0, max_value=59),       # minute
+    st.integers(min_value=0, max_value=59),       # second
+)
+
+
+class TestRoundTrips:
+    @given(dt=_datetimes)
+    @settings(max_examples=150, deadline=None)
+    def test_slash_format_identifies_and_normalises(self, dt):
+        y, mo, d, h, mi, s = dt
+        tokens = ["%04d/%02d/%02d" % (y, mo, d), "%02d:%02d:%02d" % (h, mi, s)]
+        detector = TimestampDetector()
+        match = detector.identify(tokens, 0)
+        assert match is not None
+        assert match.tokens_consumed == 2
+        assert match.normalized == (
+            "%04d/%02d/%02d %02d:%02d:%02d.000" % (y, mo, d, h, mi, s)
+        )
+
+    @given(dt=_datetimes)
+    @settings(max_examples=100, deadline=None)
+    def test_all_renderings_unify(self, dt):
+        """Heterogeneous renderings of one instant normalise identically
+        (Section III-A2)."""
+        y, mo, d, h, mi, s = dt
+        time_part = "%02d:%02d:%02d" % (h, mi, s)
+        renderings = [
+            ["%04d/%02d/%02d" % (y, mo, d), time_part],
+            ["%04d-%02d-%02d" % (y, mo, d), time_part],
+            ["%02d/%02d/%04d" % (mo, d, y), time_part],
+            [_MONTH_NAMES[mo - 1], "%02d" % d, "%04d" % y, time_part],
+            ["%04d-%02d-%02dT%s" % (y, mo, d, time_part)],
+        ]
+        detector = TimestampDetector()
+        outputs = set()
+        for tokens in renderings:
+            match = detector.identify(tokens, 0)
+            assert match is not None, tokens
+            outputs.add(match.normalized)
+        # MM/dd vs dd/MM is inherently ambiguous when both parts are
+        # <= 12; such instants may normalise to a transposed date under
+        # the MM/dd/yyyy rendering.  All unambiguous cases must agree.
+        if d > 12:
+            assert len(outputs) == 1, outputs
+
+    @given(dt=_datetimes, millis=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=150, deadline=None)
+    def test_canonical_epoch_roundtrip(self, dt, millis):
+        y, mo, d, h, mi, s = dt
+        canonical = "%04d/%02d/%02d %02d:%02d:%02d.%03d" % (
+            y, mo, d, h, mi, s, millis
+        )
+        assert format_epoch_millis(parse_canonical(canonical)) == canonical
+
+    @given(dt=_datetimes)
+    @settings(max_examples=100, deadline=None)
+    def test_epoch_millis_consistent_with_normalised(self, dt):
+        y, mo, d, h, mi, s = dt
+        tokens = ["%04d/%02d/%02d" % (y, mo, d), "%02d:%02d:%02d" % (h, mi, s)]
+        match = TimestampDetector().identify(tokens, 0)
+        assert match is not None
+        assert format_epoch_millis(match.epoch_millis) == match.normalized
+
+    @given(
+        dt=_datetimes,
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cache_never_changes_answers(self, dt, seed):
+        """A warm cache must produce identical results to a cold one."""
+        y, mo, d, h, mi, s = dt
+        tokens = ["%04d-%02d-%02d" % (y, mo, d), "%02d:%02d:%02d" % (h, mi, s)]
+        cold = TimestampDetector(use_cache=False)
+        warm = TimestampDetector(use_cache=True)
+        # Warm the cache with unrelated lookups first.
+        warm.identify(["2016/01/0%d" % (seed % 9 + 1), "01:02:03"], 0)
+        a = cold.identify(tokens, 0)
+        b = warm.identify(tokens, 0)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.normalized == b.normalized

@@ -1,0 +1,65 @@
+"""Unit tests for the automaton model and its serialisation."""
+
+from repro.sequence.automata import Automaton, StateRule
+
+
+def sample_automaton():
+    return Automaton(
+        automaton_id=1,
+        id_fields={1: "P1F2", 2: "P2F2", 3: "P3F2"},
+        begin_states=frozenset({1}),
+        end_states=frozenset({3}),
+        states={
+            1: StateRule(1, 1, 1),
+            2: StateRule(2, 0, 3),
+            3: StateRule(3, 1, 1),
+        },
+        min_duration_millis=1000,
+        max_duration_millis=9000,
+        event_count=42,
+    )
+
+
+class TestStateRule:
+    def test_required(self):
+        assert StateRule(1, 1, 2).required
+        assert not StateRule(1, 0, 2).required
+
+    def test_roundtrip(self):
+        rule = StateRule(5, 2, 7)
+        assert StateRule.from_dict(rule.to_dict()) == rule
+
+
+class TestAutomaton:
+    def test_pattern_ids(self):
+        assert sample_automaton().pattern_ids == frozenset({1, 2, 3})
+
+    def test_id_field_for(self):
+        automaton = sample_automaton()
+        assert automaton.id_field_for(1) == "P1F2"
+        assert automaton.id_field_for(9) is None
+
+    def test_accepts_pattern(self):
+        automaton = sample_automaton()
+        assert automaton.accepts_pattern(2)
+        assert not automaton.accepts_pattern(9)
+
+    def test_required_states(self):
+        assert sample_automaton().required_states() == [1, 3]
+
+    def test_dict_roundtrip(self):
+        automaton = sample_automaton()
+        restored = Automaton.from_dict(automaton.to_dict())
+        assert restored.automaton_id == automaton.automaton_id
+        assert restored.id_fields == automaton.id_fields
+        assert restored.begin_states == automaton.begin_states
+        assert restored.end_states == automaton.end_states
+        assert restored.states == automaton.states
+        assert restored.min_duration_millis == 1000
+        assert restored.max_duration_millis == 9000
+        assert restored.event_count == 42
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        json.dumps(sample_automaton().to_dict())

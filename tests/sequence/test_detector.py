@@ -1,0 +1,263 @@
+"""Unit tests for the stateful log sequence anomaly detector (Table II)."""
+
+import pytest
+
+from repro.core.anomaly import AnomalyType
+from repro.parsing.parser import ParsedLog
+from repro.sequence.automata import Automaton, StateRule
+from repro.sequence.detector import LogSequenceDetector
+from repro.sequence.model import SequenceModel
+
+
+def plog(pattern_id, eid, ts):
+    return ParsedLog(
+        raw="raw p%d %s" % (pattern_id, eid),
+        pattern_id=pattern_id,
+        fields={"id": eid},
+        timestamp_millis=ts,
+    )
+
+
+def make_model():
+    """begin(1) -> middle(2) x [1..2] -> end(3); duration 2000..3000ms."""
+    automaton = Automaton(
+        automaton_id=1,
+        id_fields={1: "id", 2: "id", 3: "id"},
+        begin_states=frozenset({1}),
+        end_states=frozenset({3}),
+        states={
+            1: StateRule(1, 1, 1),
+            2: StateRule(2, 1, 2),
+            3: StateRule(3, 1, 1),
+        },
+        min_duration_millis=2000,
+        max_duration_millis=3000,
+    )
+    return SequenceModel([automaton])
+
+
+def normal_event(eid, t0, middles=1):
+    logs = [plog(1, eid, t0)]
+    t = t0
+    for _ in range(middles):
+        t += 1000
+        logs.append(plog(2, eid, t))
+    t += 1000
+    logs.append(plog(3, eid, t))
+    return logs
+
+
+class TestNormalEvents:
+    def test_no_anomaly(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(normal_event("e1", 0))
+        anomalies += detector.flush()
+        assert anomalies == []
+        assert detector.stats.events_finalized == 1
+
+    def test_interleaved_events(self):
+        detector = LogSequenceDetector(make_model())
+        a = normal_event("a", 0)
+        b = normal_event("b", 500)
+        interleaved = [x for pair in zip(a, b) for x in pair]
+        anomalies = detector.process_many(interleaved) + detector.flush()
+        assert anomalies == []
+        assert detector.stats.events_finalized == 2
+
+    def test_open_event_count(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        assert detector.open_event_count == 1
+        detector.process(plog(2, "e1", 1000))
+        detector.process(plog(3, "e1", 2000))
+        assert detector.open_event_count == 0
+
+    def test_unknown_pattern_ignored(self):
+        detector = LogSequenceDetector(make_model())
+        assert detector.process(plog(99, "e1", 0)) == []
+        assert detector.open_event_count == 0
+
+    def test_log_without_id_ignored(self):
+        detector = LogSequenceDetector(make_model())
+        log = ParsedLog(raw="x", pattern_id=1, fields={"other": "v"})
+        assert detector.process(log) == []
+        assert detector.open_event_count == 0
+
+
+class TestAnomalyTypes:
+    """The four anomaly types of Table II."""
+
+    def test_type1_missing_begin(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(2, "e1", 1000), plog(2, "e1", 2000), plog(3, "e1", 3000)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.MISSING_BEGIN
+
+    def test_type1_missing_end_via_heartbeat(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(2, "e1", 1000)]
+        )
+        assert anomalies == []
+        # Heartbeat far enough past the expiry window (2 x 3000ms).
+        anomalies = detector.process_heartbeat(1000 + 6001)
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.MISSING_END
+        assert detector.open_event_count == 0
+
+    def test_type2_missing_intermediate(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(3, "e1", 2000)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.MISSING_INTERMEDIATE
+
+    def test_type3_occurrence_violation(self):
+        detector = LogSequenceDetector(make_model())
+        logs = [
+            plog(1, "e1", 0),
+            plog(2, "e1", 500),
+            plog(2, "e1", 1000),
+            plog(2, "e1", 1500),
+            plog(3, "e1", 2000),
+        ]
+        anomalies = detector.process_many(logs)
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.OCCURRENCE_VIOLATION
+
+    def test_type4_duration_violation_too_long(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(2, "e1", 1000), plog(3, "e1", 4500)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.DURATION_VIOLATION
+
+    def test_type4_duration_violation_too_short(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(2, "e1", 100), plog(3, "e1", 200)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.DURATION_VIOLATION
+
+    def test_one_anomaly_per_event_with_all_violations_listed(self):
+        detector = LogSequenceDetector(make_model())
+        # Missing begin AND occurrence violation AND bad duration.
+        logs = [plog(2, "e1", 0)] * 4 + [plog(3, "e1", 100)]
+        logs = [
+            plog(2, "e1", 0), plog(2, "e1", 10), plog(2, "e1", 20),
+            plog(3, "e1", 30),
+        ]
+        anomalies = detector.process_many(logs)
+        assert len(anomalies) == 1
+        violations = anomalies[0].details["violations"]
+        assert len(violations) >= 3
+        assert anomalies[0].type is AnomalyType.MISSING_BEGIN  # priority
+
+    def test_anomaly_carries_evidence_logs(self):
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(3, "e1", 2500)]
+        )
+        assert len(anomalies) == 1
+        assert len(anomalies[0].logs) == 2
+        assert anomalies[0].details["event_id"] == "e1"
+
+
+class TestHeartbeats:
+    def test_heartbeat_does_not_expire_active_events(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        assert detector.process_heartbeat(1000) == []
+        assert detector.open_event_count == 1
+
+    def test_heartbeat_expires_only_stale_events(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "stale", 0))
+        detector.process(plog(1, "fresh", 6000))
+        anomalies = detector.process_heartbeat(6500)
+        assert len(anomalies) == 1
+        assert anomalies[0].details["event_id"] == "stale"
+        assert detector.open_event_count == 1
+
+    def test_expiry_window_respects_factor(self):
+        detector = LogSequenceDetector(make_model(), expiry_factor=10)
+        detector.process(plog(1, "e1", 0))
+        assert detector.process_heartbeat(29_000) == []
+        assert len(detector.process_heartbeat(31_000)) == 1
+
+    def test_min_expiry_for_zero_duration_automata(self):
+        model = make_model()
+        automaton = model.get(1)
+        automaton.max_duration_millis = 0
+        detector = LogSequenceDetector(model, min_expiry_millis=5000)
+        detector.process(plog(1, "e1", 0))
+        assert detector.process_heartbeat(4000) == []
+        assert len(detector.process_heartbeat(5001)) == 1
+
+    def test_invalid_expiry_factor(self):
+        with pytest.raises(ValueError):
+            LogSequenceDetector(make_model(), expiry_factor=0)
+
+
+class TestFlushAndStateMap:
+    def test_flush_reports_open_events(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        anomalies = detector.flush()
+        assert len(anomalies) == 1
+        assert anomalies[0].type is AnomalyType.MISSING_END
+        assert detector.open_event_count == 0
+
+    def test_get_parent_state_map_exposes_open_states(self):
+        """The Section V-B API: sweep states without holding their keys."""
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        state_map = detector.get_parent_state_map()
+        assert list(state_map.keys()) == [(1, "e1")]
+
+    def test_stats(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process_many(normal_event("ok", 0))
+        detector.process(plog(1, "open", 100))
+        detector.process_heartbeat(100 + 7000)
+        stats = detector.stats
+        assert stats.events_finalized == 1
+        assert stats.events_expired == 1
+        assert stats.heartbeats_processed == 1
+        assert stats.anomalies == 1
+
+
+class TestModelSwap:
+    def test_swap_preserves_surviving_open_events(self):
+        """Section V-A requirement: states survive model updates."""
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        detector.model = make_model()  # same shape, new object
+        assert detector.open_event_count == 1
+        # The event can still finalise normally.
+        anomalies = detector.process_many(
+            [plog(2, "e1", 1000), plog(3, "e1", 2000)]
+        )
+        assert anomalies == []
+
+    def test_swap_drops_orphaned_open_events(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        detector.model = SequenceModel([])
+        assert detector.open_event_count == 0
+
+    def test_delete_automaton_stops_its_anomalies(self):
+        """The Table V behaviour, at detector level."""
+        detector = LogSequenceDetector(make_model())
+        reduced = detector.model.without(1)
+        detector.model = reduced
+        anomalies = detector.process_many(
+            [plog(2, "e1", 0), plog(3, "e1", 100)]
+        )
+        anomalies += detector.flush()
+        assert anomalies == []

@@ -1,0 +1,128 @@
+"""Unit tests for automatic event ID field discovery (Section IV-A1)."""
+
+from repro.parsing.parser import ParsedLog
+from repro.sequence.id_discovery import IdFieldDiscovery
+
+
+def plog(pattern_id, fields, ts=None):
+    return ParsedLog(
+        raw="raw", pattern_id=pattern_id, fields=fields,
+        timestamp_millis=ts,
+    )
+
+
+def event(eid, ts0=0):
+    """A 3-log event across patterns 1..3 sharing ``eid``."""
+    return [
+        plog(1, {"P1F1": eid, "P1F2": "10.0.0.1"}, ts0),
+        plog(2, {"P2F1": eid, "P2F2": "999"}, ts0 + 1),
+        plog(3, {"P3F1": eid}, ts0 + 2),
+    ]
+
+
+class TestReverseIndex:
+    def test_contents_to_pairs(self):
+        logs = [plog(1, {"a": "X"}), plog(2, {"b": "X"}), plog(1, {"a": "Y"})]
+        index = IdFieldDiscovery().build_reverse_index(logs)
+        assert index["X"] == {(1, "a"): 1, (2, "b"): 1}
+        assert index["Y"] == {(1, "a"): 1}
+
+    def test_counts_accumulate(self):
+        logs = [plog(1, {"a": "X"}), plog(1, {"a": "X"})]
+        index = IdFieldDiscovery().build_reverse_index(logs)
+        assert index["X"] == {(1, "a"): 2}
+
+    def test_timestamps_excluded(self):
+        logs = [plog(1, {"t": "2016/05/09 10:00:00.000", "a": "X"})]
+        index = IdFieldDiscovery().build_reverse_index(logs)
+        assert "2016/05/09 10:00:00.000" not in index
+        assert "X" in index
+
+
+class TestDiscovery:
+    def test_basic_discovery(self):
+        logs = []
+        for i in range(5):
+            logs.extend(event("ev-%04d" % i, ts0=i * 100))
+        groups = IdFieldDiscovery().discover(logs)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.as_dict() == {1: "P1F1", 2: "P2F1", 3: "P3F1"}
+        assert group.covers_all_patterns
+        assert group.support == 5
+
+    def test_min_support(self):
+        logs = event("only-one")
+        assert IdFieldDiscovery(min_support=2).discover(logs) == []
+        assert len(IdFieldDiscovery(min_support=1).discover(logs)) == 1
+
+    def test_high_frequency_values_rejected(self):
+        """Categorical values (status codes) are not identifiers."""
+        logs = []
+        for i in range(30):
+            logs.append(plog(1, {"id": "e%d" % i, "status": "OK"}))
+            logs.append(plog(2, {"id": "e%d" % i, "status": "OK"}))
+        groups = IdFieldDiscovery(max_logs_per_content=20).discover(logs)
+        assert len(groups) == 1
+        assert groups[0].as_dict() == {1: "id", 2: "id"}
+
+    def test_single_pattern_values_rejected(self):
+        """An ID must link at least min_patterns patterns."""
+        logs = [plog(1, {"n": str(i)}) for i in range(10)]
+        assert IdFieldDiscovery().discover(logs) == []
+
+    def test_two_workflows_two_groups(self):
+        logs = []
+        for i in range(4):
+            logs.extend(event("a-%d" % i))
+        for i in range(4):
+            eid = "b-%d" % i
+            logs.append(plog(10, {"X": eid}))
+            logs.append(plog(11, {"Y": eid}))
+        groups = IdFieldDiscovery().discover(logs)
+        assert len(groups) == 2
+        dicts = [g.as_dict() for g in groups]
+        assert {1: "P1F1", 2: "P2F1", 3: "P3F1"} in dicts
+        assert {10: "X", 11: "Y"} in dicts
+
+    def test_subset_groups_pruned(self):
+        """Truncated events produce subset lists, not extra groups."""
+        logs = []
+        for i in range(5):
+            logs.extend(event("full-%d" % i))
+        for i in range(3):  # events missing pattern 3
+            eid = "part-%d" % i
+            logs.append(plog(1, {"P1F1": eid, "P1F2": "x"}))
+            logs.append(plog(2, {"P2F1": eid, "P2F2": "1"}))
+        groups = IdFieldDiscovery().discover(logs)
+        assert len(groups) == 1
+        assert groups[0].covers_all_patterns
+
+    def test_ambiguous_pair_sets_skipped(self):
+        """A value appearing under two fields of one pattern is not an ID."""
+        logs = []
+        for i in range(3):
+            v = "v%d" % i
+            logs.append(plog(1, {"a": v, "b": v}))
+            logs.append(plog(2, {"c": v}))
+        groups = IdFieldDiscovery().discover(logs)
+        assert groups == []
+
+    def test_field_for(self):
+        logs = []
+        for i in range(3):
+            logs.extend(event("e-%d" % i))
+        group = IdFieldDiscovery().discover(logs)[0]
+        assert group.field_for(1) == "P1F1"
+        assert group.field_for(99) is None
+
+    def test_strongest_group_first(self):
+        logs = []
+        for i in range(3):
+            logs.extend(event("a-%d" % i))  # covers all three patterns
+        for i in range(20):
+            eid = "b-%d" % i
+            logs.append(plog(1, {"P1F1": "zz", "P1F2": eid}))
+            logs.append(plog(2, {"P2F1": "zz", "P2F2": eid}))
+        groups = IdFieldDiscovery().discover(logs)
+        assert groups[0].covers_all_patterns

@@ -1,0 +1,128 @@
+"""Unit tests for sequence model learning (Section IV-A2)."""
+
+import pytest
+
+from repro.parsing.parser import ParsedLog
+from repro.sequence.id_discovery import IdFieldDiscovery, IdFieldGroup
+from repro.sequence.learner import SequenceModelLearner
+
+
+def plog(pattern_id, eid, ts, extra=None):
+    fields = {"id": eid}
+    if extra:
+        fields.update(extra)
+    return ParsedLog(
+        raw="raw %s" % eid, pattern_id=pattern_id, fields=fields,
+        timestamp_millis=ts,
+    )
+
+
+def make_event(eid, t0, middle_count=2, gap=1000):
+    """Event: begin(1) -> middle(2) x middle_count -> end(3)."""
+    logs = [plog(1, eid, t0)]
+    t = t0
+    for _ in range(middle_count):
+        t += gap
+        logs.append(plog(2, eid, t))
+    t += gap
+    logs.append(plog(3, eid, t))
+    return logs
+
+
+def training_logs(n_events=6, middle_counts=(1, 2, 3)):
+    logs = []
+    for i in range(n_events):
+        logs.extend(
+            make_event(
+                "ev-%04d" % i,
+                t0=i * 100_000,
+                middle_count=middle_counts[i % len(middle_counts)],
+            )
+        )
+    return logs
+
+
+class TestLearning:
+    def test_fit_builds_one_automaton(self):
+        model = SequenceModelLearner().fit(training_logs())
+        assert len(model) == 1
+        automaton = model.get(1)
+        assert automaton.begin_states == frozenset({1})
+        assert automaton.end_states == frozenset({3})
+        assert automaton.pattern_ids == frozenset({1, 2, 3})
+
+    def test_occurrence_bounds(self):
+        model = SequenceModelLearner().fit(training_logs())
+        automaton = model.get(1)
+        assert automaton.states[2].min_occurrences == 1
+        assert automaton.states[2].max_occurrences == 3
+        assert automaton.states[1].min_occurrences == 1
+        assert automaton.states[1].max_occurrences == 1
+
+    def test_duration_bounds(self):
+        # middle counts 1..3 with 1000ms gaps: durations 2000..4000ms.
+        model = SequenceModelLearner().fit(training_logs())
+        automaton = model.get(1)
+        assert automaton.min_duration_millis == 2000
+        assert automaton.max_duration_millis == 4000
+
+    def test_event_count(self):
+        model = SequenceModelLearner().fit(training_logs(n_events=6))
+        assert model.get(1).event_count == 6
+
+    def test_min_events_threshold(self):
+        logs = make_event("only", 0)
+        learner = SequenceModelLearner(
+            discovery=IdFieldDiscovery(min_support=1), min_events=2
+        )
+        assert len(learner.fit(logs)) == 0
+        learner_one = SequenceModelLearner(
+            discovery=IdFieldDiscovery(min_support=1), min_events=1
+        )
+        assert len(learner_one.fit(logs)) == 1
+
+    def test_duration_slack_widens_bounds(self):
+        learner = SequenceModelLearner(duration_slack=0.5)
+        model = learner.fit(training_logs())
+        automaton = model.get(1)
+        # Range 2000..4000 widened by 50% of the 2000 spread: 1000 each way.
+        assert automaton.min_duration_millis == 1000
+        assert automaton.max_duration_millis == 5000
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceModelLearner(duration_slack=-0.1)
+
+    def test_multiple_automata_from_distinct_workflows(self):
+        logs = training_logs()
+        for i in range(5):
+            eid = "w2-%d" % i
+            logs.append(plog(10, eid, i * 1000))
+            logs.append(plog(11, eid, i * 1000 + 500))
+        model = SequenceModelLearner().fit(logs)
+        assert len(model) == 2
+
+    def test_collect_events_orders_by_time(self):
+        learner = SequenceModelLearner()
+        group = IdFieldGroup(
+            fields=((1, "id"), (2, "id"), (3, "id")),
+            support=3,
+            covers_all_patterns=True,
+        )
+        # Feed logs deliberately out of order.
+        logs = list(reversed(make_event("e1", 0)))
+        events = learner.collect_events(logs, group)
+        assert len(events) == 1
+        assert events[0].pattern_sequence == [1, 2, 2, 3]
+
+    def test_logs_without_id_content_skipped(self):
+        learner = SequenceModelLearner()
+        group = IdFieldGroup(
+            fields=((1, "id"),), support=1, covers_all_patterns=False
+        )
+        logs = [
+            ParsedLog(raw="x", pattern_id=1, fields={"other": "v"}),
+            plog(1, "e1", 0),
+        ]
+        events = learner.collect_events(logs, group)
+        assert len(events) == 1

@@ -1,0 +1,72 @@
+"""Unit tests for the serialisable sequence model."""
+
+import pytest
+
+from repro.sequence.automata import Automaton, StateRule
+from repro.sequence.model import SequenceModel
+
+
+def automaton(aid, pattern_ids):
+    return Automaton(
+        automaton_id=aid,
+        id_fields={pid: "f%d" % pid for pid in pattern_ids},
+        begin_states=frozenset({min(pattern_ids)}),
+        end_states=frozenset({max(pattern_ids)}),
+        states={pid: StateRule(pid, 1, 1) for pid in pattern_ids},
+        min_duration_millis=0,
+        max_duration_millis=1000,
+    )
+
+
+class TestSequenceModel:
+    def test_len_and_iter(self):
+        model = SequenceModel([automaton(1, [1, 2]), automaton(2, [3, 4])])
+        assert len(model) == 2
+        assert [a.automaton_id for a in model] == [1, 2]
+
+    def test_get(self):
+        model = SequenceModel([automaton(1, [1, 2])])
+        assert model.get(1).automaton_id == 1
+        with pytest.raises(KeyError):
+            model.get(9)
+
+    def test_without_removes_and_bumps_version(self):
+        """The Table V edit: delete one automaton, keep the rest."""
+        model = SequenceModel(
+            [automaton(1, [1, 2]), automaton(2, [3, 4])], version=3
+        )
+        reduced = model.without(2)
+        assert len(reduced) == 1
+        assert reduced.get(1).automaton_id == 1
+        assert reduced.version == 4
+        # Original untouched.
+        assert len(model) == 2
+
+    def test_without_unknown_raises(self):
+        model = SequenceModel([automaton(1, [1, 2])])
+        with pytest.raises(KeyError):
+            model.without(5)
+
+    def test_automata_for_pattern(self):
+        model = SequenceModel(
+            [automaton(1, [1, 2]), automaton(2, [2, 3])]
+        )
+        assert [a.automaton_id for a in model.automata_for_pattern(2)] \
+            == [1, 2]
+        assert model.automata_for_pattern(9) == []
+
+    def test_json_roundtrip(self):
+        model = SequenceModel(
+            [automaton(1, [1, 2]), automaton(2, [3, 4])], version=2
+        )
+        restored = SequenceModel.from_json(model.to_json())
+        assert restored.version == 2
+        assert len(restored) == 2
+        assert restored.get(2).states == model.get(2).states
+
+    def test_empty_model(self):
+        model = SequenceModel([])
+        assert len(model) == 0
+        assert model.automata_for_pattern(1) == []
+        restored = SequenceModel.from_json(model.to_json())
+        assert len(restored) == 0

@@ -1,0 +1,92 @@
+"""Unit tests for severity scoring of sequence anomalies."""
+
+from repro.core.anomaly import AnomalyType, Severity
+from repro.sequence.detector import LogSequenceDetector
+from repro.sequence.severity import DefaultSeverityPolicy, SeverityPolicy
+
+from .test_detector import make_model, plog
+
+
+class TestDefaultPolicy:
+    def test_structural_violation_is_error(self):
+        policy = DefaultSeverityPolicy()
+        assert policy.grade(
+            [(AnomalyType.MISSING_END, "r")]
+        ) is Severity.ERROR
+
+    def test_mild_numeric_violation_is_warning(self):
+        policy = DefaultSeverityPolicy()
+        assert policy.grade(
+            [(AnomalyType.DURATION_VIOLATION, "r")],
+            duration_ratio=1.2,
+        ) is Severity.WARNING
+
+    def test_large_numeric_violation_escalates(self):
+        policy = DefaultSeverityPolicy()
+        assert policy.grade(
+            [(AnomalyType.DURATION_VIOLATION, "r")],
+            duration_ratio=2.0,
+        ) is Severity.ERROR
+        assert policy.grade(
+            [(AnomalyType.OCCURRENCE_VIOLATION, "r")],
+            occurrence_ratio=3.5,
+        ) is Severity.CRITICAL
+
+    def test_structural_plus_extreme_ratio_is_critical(self):
+        policy = DefaultSeverityPolicy()
+        assert policy.grade(
+            [(AnomalyType.MISSING_BEGIN, "r")],
+            occurrence_ratio=5.0,
+        ) is Severity.CRITICAL
+
+    def test_thresholds_configurable(self):
+        lenient = DefaultSeverityPolicy(error_ratio=10, critical_ratio=20)
+        assert lenient.grade(
+            [(AnomalyType.DURATION_VIOLATION, "r")],
+            duration_ratio=5.0,
+        ) is Severity.WARNING
+
+
+class TestDetectorIntegration:
+    def test_missing_end_graded_error(self):
+        detector = LogSequenceDetector(make_model())
+        detector.process(plog(1, "e1", 0))
+        [anomaly] = detector.flush()
+        assert anomaly.severity is Severity.ERROR
+
+    def test_mild_duration_violation_is_warning(self):
+        # Learned window [2000, 3000]; actual 3500 -> ratio ~1.17.
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(2, "e1", 1000), plog(3, "e1", 3500)]
+        )
+        assert anomalies[0].severity is Severity.WARNING
+
+    def test_extreme_duration_violation_is_critical(self):
+        # Window max 3000; 2x expiry would normally catch it, so feed the
+        # late end directly (no heartbeats in between): ratio 10000/3000.
+        detector = LogSequenceDetector(make_model())
+        anomalies = detector.process_many(
+            [plog(1, "e1", 0), plog(2, "e1", 1000), plog(3, "e1", 10_000)]
+        )
+        assert anomalies[0].severity is Severity.CRITICAL
+
+    def test_occurrence_blowout_escalates(self):
+        detector = LogSequenceDetector(make_model())
+        logs = [plog(1, "e1", 0)]
+        logs += [plog(2, "e1", 100 + i) for i in range(8)]  # max is 2
+        logs += [plog(3, "e1", 2500)]
+        anomalies = detector.process_many(logs)
+        assert anomalies[0].severity is Severity.CRITICAL
+
+    def test_custom_policy_injected(self):
+        class Paranoid(SeverityPolicy):
+            def grade(self, violations, **kwargs):
+                return Severity.CRITICAL
+
+        detector = LogSequenceDetector(
+            make_model(), severity_policy=Paranoid()
+        )
+        detector.process(plog(1, "e1", 0))
+        [anomaly] = detector.flush()
+        assert anomaly.severity is Severity.CRITICAL

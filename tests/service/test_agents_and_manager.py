@@ -1,0 +1,119 @@
+"""Unit tests for the replay agent and the log manager."""
+
+import pytest
+
+from repro.service.agent import ReplayAgent
+from repro.service.bus import MessageBus
+from repro.service.log_manager import LogManager
+from repro.service.storage import LogStorage
+
+
+def make_bus():
+    bus = MessageBus()
+    bus.create_topic("logs.raw")
+    bus.create_topic("logs.ingest")
+    return bus
+
+
+class TestReplayAgent:
+    def test_step_ships_chunk(self):
+        bus = make_bus()
+        agent = ReplayAgent(
+            bus, "logs.raw", "src", ["l%d" % i for i in range(10)],
+            logs_per_step=4,
+        )
+        assert agent.step() == 4
+        assert agent.step() == 4
+        assert agent.step() == 2
+        assert agent.exhausted
+        assert agent.step() == 0
+        assert agent.shipped == 10
+
+    def test_records_carry_source(self):
+        bus = make_bus()
+        ReplayAgent(bus, "logs.raw", "app7", ["x"]).drain()
+        consumer = bus.consumer("logs.raw", "t")
+        [message] = consumer.poll()
+        assert message.value == {"raw": "x", "source": "app7"}
+
+    def test_drain(self):
+        bus = make_bus()
+        agent = ReplayAgent(
+            bus, "logs.raw", "s", ["a"] * 25, logs_per_step=10
+        )
+        assert agent.drain() == 25
+        assert agent.exhausted
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ReplayAgent(make_bus(), "logs.raw", "s", [], logs_per_step=0)
+
+    def test_iterator_source(self):
+        bus = make_bus()
+        agent = ReplayAgent(bus, "logs.raw", "s", iter(["a", "b"]))
+        assert agent.drain() == 2
+
+
+class TestLogManager:
+    def test_cycle_archives_and_forwards(self):
+        bus = make_bus()
+        storage = LogStorage()
+        manager = LogManager(bus, storage)
+        ReplayAgent(bus, "logs.raw", "app1", ["l1", "l2"]).drain()
+        forwarded = manager.cycle()
+        assert forwarded == 2
+        assert storage.by_source("app1") == ["l1", "l2"]
+        consumer = bus.consumer("logs.ingest", "t")
+        values = [m.value for m in consumer.poll()]
+        assert values == [
+            {"raw": "l1", "source": "app1"},
+            {"raw": "l2", "source": "app1"},
+        ]
+
+    def test_rate_limit_defers_surplus(self):
+        bus = make_bus()
+        manager = LogManager(
+            bus, LogStorage(), max_rate_per_cycle=3
+        )
+        ReplayAgent(bus, "logs.raw", "s", ["x"] * 10).drain()
+        assert manager.cycle() == 3
+        assert manager.stats.deferred == 7
+        assert manager.cycle() == 3
+
+    def test_drain(self):
+        bus = make_bus()
+        manager = LogManager(bus, LogStorage(), max_rate_per_cycle=4)
+        ReplayAgent(bus, "logs.raw", "s", ["x"] * 10).drain()
+        assert manager.drain() == 10
+        assert manager.stats.forwarded == 10
+
+    def test_source_identification(self):
+        bus = make_bus()
+        manager = LogManager(bus, LogStorage())
+        ReplayAgent(bus, "logs.raw", "a", ["1"]).drain()
+        ReplayAgent(bus, "logs.raw", "b", ["2"]).drain()
+        manager.drain()
+        assert manager.sources() == ["a", "b"]
+
+    def test_missing_source_becomes_unknown(self):
+        bus = make_bus()
+        storage = LogStorage()
+        manager = LogManager(bus, storage)
+        bus.produce("logs.raw", {"raw": "x", "source": None})
+        manager.cycle()
+        assert storage.by_source("unknown") == ["x"]
+
+    def test_keyed_forwarding_copartitions_by_source(self):
+        bus = MessageBus()
+        bus.create_topic("logs.raw")
+        bus.create_topic("logs.ingest", partitions=4)
+        manager = LogManager(bus, LogStorage())
+        ReplayAgent(bus, "logs.raw", "same-source", ["a", "b", "c"]).drain()
+        manager.drain()
+        consumer = bus.consumer("logs.ingest", "t")
+        partitions = {m.partition for m in consumer.poll()}
+        assert len(partitions) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LogManager(make_bus(), LogStorage(), max_rate_per_cycle=0)

@@ -1,0 +1,96 @@
+"""Unit tests for the external heartbeat controller (Section V-B)."""
+
+import pytest
+
+from repro.service.heartbeat import HeartbeatController
+
+
+class TestObservation:
+    def test_no_heartbeat_before_any_log(self):
+        hb = HeartbeatController()
+        assert hb.tick() == []
+
+    def test_heartbeat_after_observation(self):
+        hb = HeartbeatController()
+        hb.observe("src", 10_000)
+        [record] = hb.tick()
+        assert record.is_heartbeat
+        assert record.source == "src"
+        assert record.timestamp_millis > 10_000
+
+    def test_rate_estimation(self):
+        hb = HeartbeatController(ewma_alpha=1.0)  # newest gap wins
+        hb.observe("src", 0)
+        hb.observe("src", 2_000)
+        [record] = hb.tick()
+        # Extrapolates one 2000ms gap past the last observed log time.
+        assert record.timestamp_millis == 4_000
+
+    def test_silent_ticks_keep_advancing(self):
+        """Log time progresses while the source is quiet (paper's fix)."""
+        hb = HeartbeatController(ewma_alpha=1.0)
+        hb.observe("src", 0)
+        hb.observe("src", 1_000)
+        ts = [hb.tick()[0].timestamp_millis for _ in range(3)]
+        assert ts == [2_000, 3_000, 4_000]
+
+    def test_new_log_resets_silence(self):
+        hb = HeartbeatController(ewma_alpha=1.0)
+        hb.observe("src", 0)
+        hb.observe("src", 1_000)
+        hb.tick()
+        hb.tick()
+        hb.observe("src", 5_000)
+        [record] = hb.tick()
+        assert record.timestamp_millis == 5_000 + 4_000  # new gap EWMA
+
+    def test_default_gap_before_estimate(self):
+        hb = HeartbeatController(default_gap_millis=500)
+        hb.observe("src", 10_000)
+        [record] = hb.tick()
+        assert record.timestamp_millis == 10_500
+
+    def test_out_of_order_timestamps_keep_max(self):
+        hb = HeartbeatController()
+        hb.observe("src", 5_000)
+        hb.observe("src", 3_000)  # late arrival
+        [record] = hb.tick()
+        assert record.timestamp_millis > 5_000
+
+    def test_observation_without_timestamp(self):
+        hb = HeartbeatController()
+        hb.observe("src", None)
+        assert hb.tick() == []  # no log time known yet
+
+
+class TestSources:
+    def test_per_source_heartbeats(self):
+        hb = HeartbeatController()
+        hb.observe("a", 1_000)
+        hb.observe("b", 2_000)
+        records = hb.tick()
+        assert sorted(r.source for r in records) == ["a", "b"]
+        assert hb.sources() == ["a", "b"]
+
+    def test_deactivate_stops_heartbeats(self):
+        """Heartbeats only flow while the agent is active (paper)."""
+        hb = HeartbeatController()
+        hb.observe("a", 1_000)
+        hb.deactivate("a")
+        assert hb.tick() == []
+        hb.activate("a")
+        assert len(hb.tick()) == 1
+
+    def test_estimated_time(self):
+        hb = HeartbeatController(ewma_alpha=1.0)
+        assert hb.estimated_time("unknown") is None
+        hb.observe("a", 0)
+        hb.observe("a", 1_000)
+        hb.tick()
+        assert hb.estimated_time("a") == 2_000
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            HeartbeatController(ewma_alpha=0)
+        with pytest.raises(ValueError):
+            HeartbeatController(ewma_alpha=1.5)

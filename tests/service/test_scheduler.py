@@ -1,0 +1,137 @@
+"""Unit tests for the simulated scheduler and relearn automation."""
+
+import pytest
+
+from repro.service.scheduler import RelearnAutomation, SimulatedScheduler
+
+
+def _at_zero():
+    """A scheduler whose clock is anchored at t=0."""
+    scheduler = SimulatedScheduler()
+    scheduler.advance(0)
+    return scheduler
+
+
+class TestSimulatedScheduler:
+    def test_fires_on_deadline(self):
+        scheduler = _at_zero()
+        fired = []
+        scheduler.schedule("t", 100, lambda ts: fired.append(ts))
+        assert scheduler.advance(99) == []
+        results = scheduler.advance(100)
+        assert [name for name, _ in results] == ["t"]
+        assert fired == [100]
+
+    def test_catch_up_fires_once_per_missed_period(self):
+        scheduler = _at_zero()
+        fired = []
+        scheduler.schedule("t", 100, lambda ts: fired.append(ts))
+        scheduler.advance(350)
+        assert fired == [100, 200, 300]
+
+    def test_unanchored_task_anchors_at_first_advance(self):
+        """Scheduling before any clock exists must not cause a catch-up
+        storm when the stream starts at a large epoch timestamp."""
+        scheduler = SimulatedScheduler()
+        fired = []
+        scheduler.schedule("t", 100, lambda ts: fired.append(ts))
+        scheduler.advance(1_462_788_000_000)
+        assert fired == []  # anchored, not fired
+        scheduler.advance(1_462_788_000_100)
+        assert fired == [1_462_788_000_100]
+
+    def test_clock_never_goes_backwards(self):
+        scheduler = _at_zero()
+        fired = []
+        scheduler.schedule("t", 100, lambda ts: fired.append(ts))
+        scheduler.advance(150)
+        assert scheduler.advance(120) == []
+        assert fired == [100]
+
+    def test_multiple_tasks_fire_in_deadline_order(self):
+        scheduler = _at_zero()
+        order = []
+        scheduler.schedule("slow", 300, lambda ts: order.append("slow"))
+        scheduler.schedule("fast", 100, lambda ts: order.append("fast"))
+        scheduler.advance(300)
+        assert order == ["fast", "fast", "fast", "slow"]
+
+    def test_first_fire_override(self):
+        scheduler = SimulatedScheduler()
+        fired = []
+        scheduler.schedule(
+            "t", 1000, lambda ts: fired.append(ts), first_fire_millis=50
+        )
+        scheduler.advance(60)
+        assert fired == [50]
+
+    def test_cancel(self):
+        scheduler = _at_zero()
+        scheduler.schedule("t", 100, lambda ts: None)
+        scheduler.cancel("t")
+        assert scheduler.advance(1000) == []
+        with pytest.raises(KeyError):
+            scheduler.cancel("t")
+
+    def test_duplicate_name_raises(self):
+        scheduler = SimulatedScheduler()
+        scheduler.schedule("t", 100, lambda ts: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule("t", 200, lambda ts: None)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SimulatedScheduler().schedule("t", 0, lambda ts: None)
+
+    def test_task_bookkeeping(self):
+        scheduler = _at_zero()
+        task = scheduler.schedule("t", 100, lambda ts: ts * 2)
+        scheduler.advance(200)
+        assert task.runs == 2
+        assert task.last_result == 400
+        assert scheduler.tasks() == ["t"]
+        assert scheduler.clock_millis == 200
+
+
+class TestRelearnAutomation:
+    def _service_with_logs(self):
+        from repro.core.pipeline import LogLens
+
+        day = 24 * 3600 * 1000
+        lines = []
+        for i in range(8):
+            eid = "j-%02d" % i
+            lines += [
+                "2016/05/09 10:%02d:01 app BEGIN job %s from 10.0.0.1"
+                % (i, eid),
+                "2016/05/09 10:%02d:05 app job %s FINISHED rc 1234567"
+                % (i, eid),
+            ]
+        lens = LogLens().fit(lines)
+        service = lens.to_service()
+        service.ingest(lines, source="app")
+        service.run_until_drained()
+        return service, day
+
+    def test_nightly_rebuild_publishes_new_versions(self):
+        service, day = self._service_with_logs()
+        base_time = 1462788000000  # 2016/05/09 10:00
+        automation = RelearnAutomation(service, "app", period_millis=day)
+        automation.advance(base_time)  # anchor the clock
+        before = service.model_storage.latest_version("pattern_model")
+        automation.advance(base_time + day + 1)
+        assert automation.rebuilds == 1
+        assert service.model_storage.latest_version("pattern_model") \
+            == before + 1
+
+    def test_empty_window_is_skipped_not_fatal(self):
+        service, day = self._service_with_logs()
+        automation = RelearnAutomation(
+            service, "app", period_millis=day,
+            window_millis=1,  # a window that contains no logs
+        )
+        base_time = 1462788000000
+        automation.advance(base_time)  # anchor
+        automation.advance(base_time + 2 * day)
+        assert automation.rebuilds == 0
+        assert automation.last_error is not None

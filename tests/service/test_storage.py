@@ -1,0 +1,185 @@
+"""Unit tests for log/model/anomaly storage."""
+
+import pytest
+
+from repro.service.storage import (
+    AnomalyStorage,
+    DocumentStore,
+    LogStorage,
+    ModelStorage,
+)
+
+
+class TestDocumentStore:
+    def test_insert_and_get(self):
+        store = DocumentStore()
+        doc_id = store.insert({"a": 1})
+        assert store.get(doc_id) == {"a": 1, "_id": doc_id}
+        assert store.get(999) is None
+
+    def test_insert_copies(self):
+        store = DocumentStore()
+        doc = {"a": 1}
+        doc_id = store.insert(doc)
+        doc["a"] = 2
+        assert store.get(doc_id)["a"] == 1
+
+    def test_match_query(self):
+        store = DocumentStore()
+        store.insert({"k": "x", "n": 1})
+        store.insert({"k": "y", "n": 2})
+        assert [d["n"] for d in store.query(match={"k": "x"})] == [1]
+
+    def test_range_query(self):
+        store = DocumentStore()
+        for n in range(5):
+            store.insert({"n": n})
+        docs = store.query(range_=("n", 1, 3))
+        assert [d["n"] for d in docs] == [1, 2, 3]
+        docs = store.query(range_=("n", None, 2))
+        assert [d["n"] for d in docs] == [0, 1, 2]
+
+    def test_range_skips_missing_field(self):
+        store = DocumentStore()
+        store.insert({"n": 1})
+        store.insert({"other": 9})
+        assert len(store.query(range_=("n", 0, 10))) == 1
+
+    def test_limit(self):
+        store = DocumentStore()
+        for n in range(10):
+            store.insert({"n": n})
+        assert len(store.query(limit=3)) == 3
+
+    def test_count_and_clear(self):
+        store = DocumentStore()
+        store.insert({"k": "x"})
+        store.insert({"k": "y"})
+        assert store.count() == 2
+        assert store.count(match={"k": "x"}) == 1
+        store.clear()
+        assert store.count() == 0
+
+
+class TestLogStorage:
+    def test_by_source(self):
+        storage = LogStorage()
+        storage.store("l1", "a")
+        storage.store("l2", "b")
+        storage.store("l3", "a")
+        assert storage.by_source("a") == ["l1", "l3"]
+        assert storage.sources() == ["a", "b"]
+        assert storage.count() == 3
+        assert storage.count("a") == 2
+
+    def test_time_range_window(self):
+        """The model-rebuild window (last seven days of logs)."""
+        storage = LogStorage()
+        for ts in (100, 200, 300, 400):
+            storage.store("log@%d" % ts, "src", timestamp_millis=ts)
+        window = storage.time_range("src", 150, 350)
+        assert window == ["log@200", "log@300"]
+
+    def test_store_many(self):
+        storage = LogStorage()
+        storage.store_many(["a", "b"], "src")
+        assert storage.count("src") == 2
+
+
+class TestModelStorage:
+    def test_versioning(self):
+        storage = ModelStorage()
+        assert storage.put("m", {"v": 1}) == 1
+        assert storage.put("m", {"v": 2}) == 2
+        assert storage.get("m") == {"v": 2}
+        assert storage.get("m", version=1) == {"v": 1}
+        assert storage.latest_version("m") == 2
+
+    def test_unknown_name(self):
+        storage = ModelStorage()
+        with pytest.raises(KeyError):
+            storage.get("nope")
+        with pytest.raises(KeyError):
+            storage.latest_version("nope")
+
+    def test_unknown_version(self):
+        storage = ModelStorage()
+        storage.put("m", {})
+        with pytest.raises(KeyError):
+            storage.get("m", version=5)
+
+    def test_names_and_delete(self):
+        storage = ModelStorage()
+        storage.put("b", {})
+        storage.put("a", {})
+        assert storage.names() == ["a", "b"]
+        storage.delete("a")
+        assert storage.names() == ["b"]
+        with pytest.raises(KeyError):
+            storage.delete("a")
+
+    def test_get_returns_copy(self):
+        storage = ModelStorage()
+        storage.put("m", {"k": 1})
+        storage.get("m")["k"] = 99
+        assert storage.get("m")["k"] == 1
+
+
+class TestAnomalyStorage:
+    def _doc(self, type_="missing_end", source="s1", ts=100):
+        return {
+            "type": type_, "source": source, "timestamp_millis": ts,
+            "reason": "r", "severity": 2,
+        }
+
+    def test_store_and_query(self):
+        storage = AnomalyStorage()
+        storage.store(self._doc())
+        storage.store(self._doc(type_="unparsed_log", ts=200))
+        assert storage.count() == 2
+        assert len(storage.by_type("missing_end")) == 1
+        assert len(storage.by_source("s1")) == 2
+        assert len(storage.in_window(150, 250)) == 1
+
+    def test_clear(self):
+        storage = AnomalyStorage()
+        storage.store(self._doc())
+        storage.clear()
+        assert storage.count() == 0
+        assert storage.all() == []
+
+
+class TestModelStoragePruning:
+    def test_prune_keeps_newest_with_stable_numbers(self):
+        storage = ModelStorage()
+        for v in range(1, 8):
+            storage.put("m", {"v": v})
+        dropped = storage.prune("m", keep_last=3)
+        assert dropped == 4
+        assert storage.latest_version("m") == 7
+        assert storage.get("m") == {"v": 7}
+        assert storage.get("m", version=5) == {"v": 5}
+        with pytest.raises(KeyError):
+            storage.get("m", version=4)  # pruned
+
+    def test_put_after_prune_continues_numbering(self):
+        storage = ModelStorage()
+        for v in range(1, 5):
+            storage.put("m", {"v": v})
+        storage.prune("m", keep_last=1)
+        assert storage.put("m", {"v": 5}) == 5
+        assert storage.get("m", version=5) == {"v": 5}
+
+    def test_prune_noop_when_few_versions(self):
+        storage = ModelStorage()
+        storage.put("m", {"v": 1})
+        assert storage.prune("m", keep_last=5) == 0
+        assert storage.get("m", version=1) == {"v": 1}
+
+    def test_prune_validation(self):
+        storage = ModelStorage()
+        with pytest.raises(KeyError):
+            storage.prune("missing")
+        storage.put("m", {})
+        with pytest.raises(ValueError):
+            storage.prune("m", keep_last=0)

@@ -1,0 +1,77 @@
+"""Unit tests for partitioners (heartbeat fan-out, key routing)."""
+
+import pytest
+
+from repro.streaming.partitioner import (
+    HashPartitioner,
+    HeartbeatAwarePartitioner,
+    partition_records,
+)
+from repro.streaming.records import StreamRecord, heartbeat_record
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        p = HashPartitioner(4)
+        r = StreamRecord(value=1, key="event-42")
+        assert p.partition(r) == p.partition(r)
+
+    def test_within_range(self):
+        p = HashPartitioner(4)
+        for i in range(100):
+            [idx] = p.partition(StreamRecord(value=i, key="k%d" % i))
+            assert 0 <= idx < 4
+
+    def test_same_key_same_partition(self):
+        p = HashPartitioner(8)
+        a = StreamRecord(value=1, key="shared")
+        b = StreamRecord(value=2, key="shared")
+        assert p.partition(a) == p.partition(b)
+
+    def test_keyless_goes_to_zero(self):
+        p = HashPartitioner(4)
+        assert p.partition(StreamRecord(value=1)) == [0]
+
+    def test_spread(self):
+        p = HashPartitioner(4)
+        used = {
+            p.partition(StreamRecord(value=i, key="key-%d" % i))[0]
+            for i in range(200)
+        }
+        assert used == {0, 1, 2, 3}
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestHeartbeatAware:
+    def test_heartbeat_fans_out_to_all(self):
+        p = HeartbeatAwarePartitioner(4)
+        hb = heartbeat_record("src", 1000)
+        assert p.partition(hb) == [0, 1, 2, 3]
+
+    def test_normal_record_routes_by_key(self):
+        p = HeartbeatAwarePartitioner(4)
+        r = StreamRecord(value=1, key="k")
+        assert len(p.partition(r)) == 1
+
+
+class TestPartitionRecords:
+    def test_buckets_and_duplication(self):
+        p = HeartbeatAwarePartitioner(3)
+        records = [
+            StreamRecord(value=i, key="k%d" % i) for i in range(10)
+        ] + [heartbeat_record("s", 5)]
+        buckets = partition_records(records, p)
+        assert len(buckets) == 3
+        # Ten keyed records land exactly once; the heartbeat thrice.
+        assert sum(len(b) for b in buckets) == 13
+        for bucket in buckets:
+            assert any(r.is_heartbeat for r in bucket)
+
+    def test_order_preserved_within_partition(self):
+        p = HashPartitioner(1)
+        records = [StreamRecord(value=i, key="k") for i in range(5)]
+        buckets = partition_records(records, p)
+        assert [r.value for r in buckets[0]] == [0, 1, 2, 3, 4]

@@ -1,0 +1,49 @@
+"""Unit tests for the per-partition keyed state map."""
+
+from repro.streaming.state import StateMap
+
+
+class TestStateMap:
+    def test_get_put_remove(self):
+        state = StateMap(0)
+        assert state.get("k") is None
+        assert state.get("k", "d") == "d"
+        state.put("k", 1)
+        assert state.get("k") == 1
+        assert "k" in state
+        assert state.remove("k") == 1
+        assert "k" not in state
+        assert state.remove("k") is None
+
+    def test_len_and_keys(self):
+        state = StateMap(0)
+        state.put("a", 1)
+        state.put("b", 2)
+        assert len(state) == 2
+        assert sorted(state.keys()) == ["a", "b"]
+
+    def test_items_snapshot_is_safe_to_mutate_during(self):
+        state = StateMap(0)
+        state.put("a", 1)
+        state.put("b", 2)
+        for key, _ in state.items():
+            state.remove(key)
+        assert len(state) == 0
+
+    def test_parent_state_map_is_live_reference(self):
+        """The getParentStateMap extension: mutations are visible."""
+        state = StateMap(0)
+        state.put("a", 1)
+        parent = state.get_parent_state_map()
+        assert parent == {"a": 1}
+        del parent["a"]
+        assert "a" not in state
+
+    def test_clear(self):
+        state = StateMap(0)
+        state.put("a", 1)
+        state.clear()
+        assert len(state) == 0
+
+    def test_partition_id(self):
+        assert StateMap(7).partition_id == 7
