@@ -50,6 +50,7 @@ dashboard = Dashboard(
     service.anomaly_storage,
     log_storage=service.log_storage,
     model_storage=service.model_storage,
+    metrics=service.metrics,
 )
 
 print(dashboard.render_text(feed_limit=5))

@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from .core import Anomaly, AnomalyType, LogLens, LogLensConfig, Severity
+from .obs import MetricsRegistry, get_registry
 from .parsing import (
     FastLogParser,
     GrokPattern,

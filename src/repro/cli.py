@@ -1,6 +1,6 @@
 """Command-line interface for the LogLens reproduction.
 
-Six subcommands cover the library's workflow from a shell::
+Seven subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
@@ -8,6 +8,7 @@ Six subcommands cover the library's workflow from a shell::
     loglens parse   stream.log -m model.json      # structured parse output
     loglens watch   app.log    -m model.json      # follow a live log file
     loglens quality sample.log -m model.json      # drift check (coverage)
+    loglens metrics stream.log -m model.json      # observability snapshot
 
 ``train`` reads raw lines (one log per line), discovers patterns, learns
 automata, and writes one JSON model file.  ``detect`` replays a stream
@@ -119,6 +120,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="replay logs through the full service and print the "
+             "observability snapshot",
+    )
+    metrics.add_argument("logs", help="streaming log file ('-' for stdin)")
+    metrics.add_argument(
+        "-m", "--model", default=None, help="model file from 'train'"
+    )
+    metrics.add_argument(
+        "--train", default=None, metavar="NORMAL_LOGS",
+        help="train in-process from these normal-run logs instead of "
+             "loading a model file",
+    )
+    metrics.add_argument(
+        "--source", default="cli", help="source name for ingested lines"
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit the raw JSON snapshot instead of a table",
+    )
+    metrics.add_argument("--max-dist", type=float, default=0.3,
+                         help=argparse.SUPPRESS)
 
     quality = sub.add_parser(
         "quality", help="report how well a model fits a log sample"
@@ -247,6 +272,51 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a stream end to end, then render the unified metrics snapshot.
+
+    Every layer reports into one registry (parse latency, index hit
+    rate, per-batch engine latency, bus consumer lag, heartbeat sweeps),
+    so this is the quickest way to see the whole pipeline's behaviour on
+    a workload.
+    """
+    from .obs import get_registry, render_table
+
+    registry = get_registry()
+    registry.reset()  # only this run's activity in the report
+    lens = _make_lens(args)
+    if args.model:
+        lens.load(args.model)
+    elif args.train:
+        training = _read_lines(args.train)
+        if not training:
+            print("error: no training logs read", file=sys.stderr)
+            return 2
+        lens.fit(training)
+    else:
+        print(
+            "error: provide -m/--model or --train NORMAL_LOGS",
+            file=sys.stderr,
+        )
+        return 2
+    lines = _read_lines(args.logs)
+    service = lens.to_service()
+    service.ingest(lines, source=args.source)
+    service.run_until_drained()
+    service.final_flush()
+    snapshot = service.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+    else:
+        print(render_table(snapshot))
+    print(
+        "%d logs analysed, %d metric families"
+        % (len(lines), len(snapshot)),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from .parsing.quality import evaluate_pattern_model
 
@@ -266,6 +336,7 @@ _COMMANDS = {
     "parse": _cmd_parse,
     "watch": _cmd_watch,
     "quality": _cmd_quality,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -1,0 +1,34 @@
+"""Unified observability layer for the LogLens reproduction.
+
+Every layer of the pipeline — tokenizer, fast parser, pattern index,
+streaming engine, message bus, heartbeat controller, service — reports
+into one :class:`MetricsRegistry` (the process-global one by default), so
+a single snapshot describes the whole system: parse-latency quantiles,
+index hit rates, per-batch engine latency, consumer lag, sweep durations.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    timed,
+)
+from .render import render_table
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "timed",
+    "get_registry",
+    "set_registry",
+    "render_table",
+    "DEFAULT_LATENCY_BUCKETS",
+]

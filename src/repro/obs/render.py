@@ -1,0 +1,79 @@
+"""Render registry snapshots as human-readable tables.
+
+The ``loglens metrics`` subcommand and the dashboard's terminal view both
+print :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshots through
+:func:`render_table`; keeping the renderer separate from the primitives
+means the hot path never imports formatting code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["render_table"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.3f" % value
+        return "%.6f" % value
+    return str(value)
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join("%s=%s" % (k, v) for k, v in sorted(labels.items()))
+
+
+def render_table(snapshot: Dict[str, List[Dict[str, Any]]]) -> str:
+    """Format a registry snapshot as an aligned text table.
+
+    Counters and gauges render their value; histograms render count, mean,
+    and the p50/p95/p99 quantiles.
+    """
+    rows: List[List[str]] = []
+    for name in sorted(snapshot):
+        for entry in snapshot[name]:
+            kind = entry.get("type", "?")
+            if kind == "histogram":
+                rows.append([
+                    name,
+                    _fmt_labels(entry["labels"]),
+                    kind,
+                    _fmt(entry.get("count")),
+                    _fmt(entry.get("mean")),
+                    _fmt(entry.get("p50")),
+                    _fmt(entry.get("p95")),
+                    _fmt(entry.get("p99")),
+                ])
+            else:
+                rows.append([
+                    name,
+                    _fmt_labels(entry["labels"]),
+                    kind,
+                    _fmt(entry.get("value")),
+                    "-", "-", "-", "-",
+                ])
+    header = ["metric", "labels", "type", "value/count",
+              "mean", "p50", "p95", "p99"]
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -15,13 +15,21 @@ with a hash index keyed by *log-signature* (paper, Section III-B):
 
 Because distinct log *shapes* are few (thousands) while logs are many
 (millions), almost every probe is a hit.
+
+Streaming workers running under ``StreamingContext(parallel=True)`` may
+share one index through a broadcast parser, so group building/memoisation
+is guarded by a lock and all counters are atomic
+(:mod:`repro.obs`).  The fast path — probing an already-memoised group —
+stays lock-free: dict reads are atomic under the GIL and published groups
+are never mutated afterwards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Counter, MetricsRegistry, get_registry
 from .datatypes import DatatypeRegistry, DEFAULT_REGISTRY
 from .grok import GrokPattern
 from .matcher import is_matched
@@ -30,22 +38,64 @@ from .tokenizer import TokenizedLog
 __all__ = ["IndexStats", "PatternIndex"]
 
 
-@dataclass
 class IndexStats:
-    """Operational counters (exposed for the scaling ablation bench)."""
+    """Operational counters (exposed for the scaling ablation bench).
 
-    lookups: int = 0
-    group_hits: int = 0
-    group_builds: int = 0
-    signature_comparisons: int = 0
-    pattern_scans: int = 0
+    A thin façade over :mod:`repro.obs` counters: each instance keeps
+    exact local counts (what the unit tests and benches assert on) while
+    every increment also feeds the registry-level ``index.*`` families
+    that dashboards and the ``loglens metrics`` command read.
+    """
+
+    _FIELDS = (
+        "lookups",
+        "group_hits",
+        "group_builds",
+        "signature_comparisons",
+        "pattern_scans",
+    )
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        metrics = metrics if metrics is not None else get_registry()
+        for name in self._FIELDS:
+            setattr(
+                self,
+                "_" + name,
+                Counter(parent=metrics.counter("index." + name)),
+            )
+
+    @property
+    def lookups(self) -> int:
+        return self._lookups.value
+
+    @property
+    def group_hits(self) -> int:
+        return self._group_hits.value
+
+    @property
+    def group_builds(self) -> int:
+        return self._group_builds.value
+
+    @property
+    def signature_comparisons(self) -> int:
+        return self._signature_comparisons.value
+
+    @property
+    def pattern_scans(self) -> int:
+        return self._pattern_scans.value
 
     def reset(self) -> None:
-        self.lookups = 0
-        self.group_hits = 0
-        self.group_builds = 0
-        self.signature_comparisons = 0
-        self.pattern_scans = 0
+        """Zero the local counts (registry families keep their totals)."""
+        for name in self._FIELDS:
+            getattr(self, "_" + name).reset()
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IndexStats(%s)" % ", ".join(
+            "%s=%d" % (name, getattr(self, name)) for name in self._FIELDS
+        )
 
 
 class PatternIndex:
@@ -54,17 +104,28 @@ class PatternIndex:
     The index is cheap to construct (pattern signatures are computed
     lazily and groups are built on demand), so model updates simply build
     a fresh index — this is what gets rebroadcast to streaming workers.
+
+    Thread-safety: concurrent lookups are safe.  Memoised-group probes
+    never take the lock; group building is serialised by ``_lock`` so two
+    workers racing on the same unseen signature build it once and the
+    ``_by_length``/``_wildcards`` side tables are published exactly once.
     """
 
     def __init__(
         self,
         patterns: Sequence[GrokPattern],
         registry: Optional[DatatypeRegistry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.patterns: List[GrokPattern] = list(patterns)
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._metrics = metrics if metrics is not None else get_registry()
         self._groups: Dict[str, List[GrokPattern]] = {}
-        self.stats = IndexStats()
+        self.stats = IndexStats(self._metrics)
+        self._build_seconds = self._metrics.histogram(
+            "index.group_build_seconds"
+        )
+        self._lock = threading.Lock()
         # Group building only needs to compare signatures of compatible
         # length: a wildcard-free pattern of k tokens can never parse a
         # log of a different length.  Wildcard patterns match any length
@@ -84,19 +145,27 @@ class PatternIndex:
         ``None`` means no discovered pattern parses the log — the caller
         reports it as a stateless anomaly.
         """
-        self.stats.lookups += 1
+        self.stats._lookups.inc()
         signature = log.signature
         group = self._groups.get(signature)
         if group is None:
             group = self._build_group(signature)
         else:
-            self.stats.group_hits += 1
+            self.stats._group_hits.inc()
+        # Count scans locally and publish once: a per-pattern ``inc()``
+        # inside this loop is two lock acquisitions per candidate, which
+        # dominates the parse hot path on large models.
+        hit: Optional[Tuple[GrokPattern, Dict[str, str]]] = None
+        scanned = 0
         for pattern in group:
-            self.stats.pattern_scans += 1
+            scanned += 1
             fields = pattern.match(log)
             if fields is not None:
-                return pattern, fields
-        return None
+                hit = (pattern, fields)
+                break
+        if scanned:
+            self.stats._pattern_scans.inc(scanned)
+        return hit
 
     def candidate_group(self, log: TokenizedLog) -> List[GrokPattern]:
         """The candidate-pattern-group for ``log`` (built if necessary)."""
@@ -108,32 +177,49 @@ class PatternIndex:
 
     # ------------------------------------------------------------------
     def _build_group(self, signature: str) -> List[GrokPattern]:
-        self.stats.group_builds += 1
-        if self._by_length is None:
-            self._index_by_length()
-        assert self._by_length is not None
-        length = len(signature.split())
-        candidates: List[GrokPattern] = []
-        for pattern in self._by_length.get(length, []):
-            self.stats.signature_comparisons += 1
-            if is_matched(signature, pattern.signature(), self.registry):
-                candidates.append(pattern)
-        for pattern in self._wildcards:
-            self.stats.signature_comparisons += 1
-            if is_matched(signature, pattern.signature(), self.registry):
-                candidates.append(pattern)
-        candidates.sort(key=GrokPattern.generality_key)
-        # Empty groups are memoised too: a recurring unparseable shape
-        # must not trigger a full rescan per log.
-        self._groups[signature] = candidates
-        return candidates
+        with self._lock:
+            # Double-checked: another worker may have built this group
+            # while we waited for the lock; their build is our hit.
+            group = self._groups.get(signature)
+            if group is not None:
+                self.stats._group_hits.inc()
+                return group
+            self.stats._group_builds.inc()
+            with self._build_seconds.time():
+                if self._by_length is None:
+                    self._index_by_length()
+                assert self._by_length is not None
+                length = len(signature.split())
+                candidates: List[GrokPattern] = []
+                compared = 0
+                for pattern in self._by_length.get(length, []):
+                    compared += 1
+                    if is_matched(
+                        signature, pattern.signature(), self.registry
+                    ):
+                        candidates.append(pattern)
+                for pattern in self._wildcards:
+                    compared += 1
+                    if is_matched(
+                        signature, pattern.signature(), self.registry
+                    ):
+                        candidates.append(pattern)
+                if compared:
+                    self.stats._signature_comparisons.inc(compared)
+                candidates.sort(key=GrokPattern.generality_key)
+                # Empty groups are memoised too: a recurring unparseable
+                # shape must not trigger a full rescan per log.
+                self._groups[signature] = candidates
+            return candidates
 
     def _index_by_length(self) -> None:
-        self._by_length = {}
-        self._wildcards = []
+        by_length: Dict[int, List[GrokPattern]] = {}
+        wildcards: List[GrokPattern] = []
         for pattern in self.patterns:
             if pattern.has_wildcard:
-                self._wildcards.append(pattern)
+                wildcards.append(pattern)
             else:
                 length = len(pattern.elements)
-                self._by_length.setdefault(length, []).append(pattern)
+                by_length.setdefault(length, []).append(pattern)
+        self._wildcards = wildcards
+        self._by_length = by_length

@@ -13,10 +13,12 @@ fresh one (Section V-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..core.anomaly import Anomaly, AnomalyType, Severity
+from ..obs import Counter, MetricsRegistry, get_registry
 from .datatypes import DatatypeRegistry, DEFAULT_REGISTRY
 from .grok import GrokPattern
 from .index import PatternIndex
@@ -140,20 +142,49 @@ class PatternModel:
         )
 
 
-@dataclass
 class ParserStats:
-    """Throughput counters for the Table IV experiments."""
+    """Throughput counters for the Table IV experiments.
 
-    parsed: int = 0
-    anomalies: int = 0
+    A thin façade over :mod:`repro.obs` counters: the instance keeps
+    exact local counts while every increment also feeds the registry's
+    ``parser.parsed`` / ``parser.anomalies`` families — atomic even when
+    parallel streaming workers share one parser.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        metrics = metrics if metrics is not None else get_registry()
+        self._parsed = Counter(parent=metrics.counter("parser.parsed"))
+        self._anomalies = Counter(
+            parent=metrics.counter("parser.anomalies")
+        )
+
+    @property
+    def parsed(self) -> int:
+        return self._parsed.value
+
+    @property
+    def anomalies(self) -> int:
+        return self._anomalies.value
 
     @property
     def total(self) -> int:
         return self.parsed + self.anomalies
 
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of processed logs reported as stateless anomalies."""
+        total = self.total
+        return self.anomalies / total if total else 0.0
+
     def reset(self) -> None:
-        self.parsed = 0
-        self.anomalies = 0
+        """Zero the local counts (registry families keep their totals)."""
+        self._parsed.reset()
+        self._anomalies.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ParserStats(parsed=%d, anomalies=%d)" % (
+            self.parsed, self.anomalies
+        )
 
 
 class FastLogParser:
@@ -172,13 +203,20 @@ class FastLogParser:
         self,
         model: Union[PatternModel, Sequence[GrokPattern]],
         tokenizer: Optional[Tokenizer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not isinstance(model, PatternModel):
             model = PatternModel(model)
+        self._metrics = metrics if metrics is not None else get_registry()
         self.tokenizer = tokenizer if tokenizer is not None else Tokenizer()
         self._model = model
-        self._index = PatternIndex(model.patterns, model.registry)
-        self.stats = ParserStats()
+        self._index = PatternIndex(
+            model.patterns, model.registry, metrics=self._metrics
+        )
+        self.stats = ParserStats(self._metrics)
+        self._parse_seconds = self._metrics.histogram(
+            "parser.parse_seconds"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -189,7 +227,9 @@ class FastLogParser:
     def model(self, model: PatternModel) -> None:
         """Swap the pattern model (the Section V-A update path)."""
         self._model = model
-        self._index = PatternIndex(model.patterns, model.registry)
+        self._index = PatternIndex(
+            model.patterns, model.registry, metrics=self._metrics
+        )
 
     @property
     def index(self) -> PatternIndex:
@@ -200,8 +240,11 @@ class FastLogParser:
         self, raw: str, source: Optional[str] = None
     ) -> Union[ParsedLog, Anomaly]:
         """Parse one raw line; a miss yields an ``UNPARSED_LOG`` anomaly."""
+        started = time.perf_counter()
         tokenized = self.tokenizer.tokenize(raw)
-        return self.parse_tokenized(tokenized, source=source)
+        result = self.parse_tokenized(tokenized, source=source)
+        self._parse_seconds.observe(time.perf_counter() - started)
+        return result
 
     def parse_tokenized(
         self, tokenized: TokenizedLog, source: Optional[str] = None
@@ -209,7 +252,7 @@ class FastLogParser:
         """Parse an already-tokenized log (used by streaming workers)."""
         hit = self._index.lookup(tokenized)
         if hit is None:
-            self.stats.anomalies += 1
+            self.stats._anomalies.inc()
             return Anomaly(
                 type=AnomalyType.UNPARSED_LOG,
                 reason="log matches no discovered pattern",
@@ -219,7 +262,7 @@ class FastLogParser:
                 severity=Severity.WARNING,
             )
         pattern, fields = hit
-        self.stats.parsed += 1
+        self.stats._parsed.inc()
         return ParsedLog(
             raw=tokenized.raw,
             pattern_id=pattern.pattern_id,

@@ -21,6 +21,7 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import MetricsRegistry, get_registry
 from .datatypes import DEFAULT_REGISTRY, DatatypeRegistry
 from .timestamps import TimestampDetector
 
@@ -117,6 +118,7 @@ class Tokenizer:
         split_rules: Optional[Sequence[SplitRule]] = None,
         registry: Optional[DatatypeRegistry] = None,
         timestamp_detector: Optional[TimestampDetector] = "default",  # type: ignore[assignment]
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.delimiters = delimiters
         if delimiters:
@@ -136,6 +138,10 @@ class Tokenizer:
         # long-running streams from growing it without limit.
         self._infer_memo: dict = {}
         self._infer_memo_cap = 200_000
+        obs = metrics if metrics is not None else get_registry()
+        self._m_logs = obs.counter("tokenizer.logs")
+        self._m_tokens = obs.counter("tokenizer.tokens")
+        self._m_timestamps = obs.counter("tokenizer.timestamps_detected")
 
     # ------------------------------------------------------------------
     def tokenize(self, raw: str) -> TokenizedLog:
@@ -143,6 +149,10 @@ class Tokenizer:
         texts = self._split(raw)
         texts = self._apply_split_rules(texts)
         tokens, ts_millis = self._merge_timestamps(texts)
+        self._m_logs.inc()
+        self._m_tokens.inc(len(tokens))
+        if ts_millis is not None:
+            self._m_timestamps.inc()
         return TokenizedLog(raw=raw, tokens=tokens, timestamp_millis=ts_millis)
 
     def tokenize_many(self, raw_logs: Sequence[str]) -> List[TokenizedLog]:

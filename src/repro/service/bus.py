@@ -14,6 +14,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry, get_registry
+
 __all__ = ["Message", "MessageBus", "Consumer"]
 
 
@@ -41,11 +43,12 @@ class _Topic:
 class MessageBus:
     """Topic registry + produce path."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._topics: Dict[str, _Topic] = {}
         self._lock = threading.RLock()
         # (group, topic, partition) -> committed offset
         self._group_offsets: Dict[Tuple[str, str, int], int] = {}
+        self._metrics = metrics if metrics is not None else get_registry()
 
     # ------------------------------------------------------------------
     def create_topic(self, name: str, partitions: int = 1) -> None:
@@ -91,6 +94,7 @@ class MessageBus:
                 value=value,
             )
             log.append(message)
+            self._metrics.counter("bus.produced", topic=topic).inc()
             return message
 
     def produce_many(
@@ -134,9 +138,21 @@ class MessageBus:
                 log = t.partitions[partition]
                 take = log[offset:offset + max(0, max_records - len(out))]
                 out.extend(take)
-                self._group_offsets[key] = offset + len(take)
+                new_offset = offset + len(take)
+                self._group_offsets[key] = new_offset
+                # Per-topic-partition consumer lag, refreshed on poll.
+                self._metrics.gauge(
+                    "bus.consumer_lag",
+                    topic=topic,
+                    group=group,
+                    partition=str(partition),
+                ).set(len(log) - new_offset)
                 if len(out) >= max_records:
                     break
+            if out:
+                self._metrics.counter(
+                    "bus.consumed", topic=topic, group=group
+                ).inc(len(out))
             return out
 
     def committed(self, topic: str, group: str) -> List[int]:

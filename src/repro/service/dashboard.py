@@ -19,6 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import MetricsRegistry, render_table
 from ..parsing.parser import PatternModel
 from ..sequence.model import SequenceModel
 from .model_manager import PATTERN_MODEL, SEQUENCE_MODEL
@@ -78,10 +79,12 @@ class Dashboard:
         anomaly_storage: AnomalyStorage,
         log_storage: Optional[LogStorage] = None,
         model_storage: Optional[ModelStorage] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.anomaly_storage = anomaly_storage
         self.log_storage = log_storage
         self.model_storage = model_storage
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Ad-hoc queries
@@ -181,6 +184,20 @@ class Dashboard:
         return summary
 
     # ------------------------------------------------------------------
+    # Metrics panel (the aggregate observability snapshot)
+    # ------------------------------------------------------------------
+    def metrics_panel(self) -> Dict[str, Any]:
+        """Snapshot of the attached :class:`~repro.obs.MetricsRegistry`.
+
+        Parse-latency quantiles, index hit counters, engine batch
+        latency, bus consumer lag, heartbeat sweep metrics — everything
+        the instrumented layers report, as one JSON-safe dict.
+        """
+        if self.metrics is None:
+            raise RuntimeError("dashboard has no metrics registry attached")
+        return self.metrics.to_dict()
+
+    # ------------------------------------------------------------------
     # Drill-down
     # ------------------------------------------------------------------
     def context_logs(
@@ -266,6 +283,10 @@ class Dashboard:
                     doc.get("reason", ""),
                 )
             )
+        if self.metrics is not None:
+            lines.append("")
+            lines.append("Metrics:")
+            lines.append(render_table(self.metrics.to_dict()))
         return "\n".join(lines)
 
 

@@ -15,9 +15,11 @@ sweeps.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import MetricsRegistry, get_registry
 from ..streaming.records import StreamRecord, heartbeat_record
 
 __all__ = ["SourceClock", "HeartbeatController"]
@@ -47,13 +49,20 @@ class HeartbeatController:
     """
 
     def __init__(
-        self, ewma_alpha: float = 0.3, default_gap_millis: int = 1000
+        self,
+        ewma_alpha: float = 0.3,
+        default_gap_millis: int = 1000,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0 < ewma_alpha <= 1:
             raise ValueError("ewma_alpha must be in (0, 1]")
         self.ewma_alpha = ewma_alpha
         self.default_gap_millis = default_gap_millis
         self._clocks: Dict[str, SourceClock] = {}
+        obs = metrics if metrics is not None else get_registry()
+        self._m_sweep_seconds = obs.histogram("heartbeat.sweep_seconds")
+        self._m_beats = obs.counter("heartbeat.beats")
+        self._m_active_sources = obs.gauge("heartbeat.active_sources")
 
     # ------------------------------------------------------------------
     def observe(self, source: str, timestamp_millis: Optional[int]) -> None:
@@ -96,6 +105,7 @@ class HeartbeatController:
         by another estimated gap, so log time keeps progressing even while
         the source is quiet.
         """
+        started = time.perf_counter()
         out: List[StreamRecord] = []
         for source, clock in self._clocks.items():
             if not clock.active or clock.last_timestamp is None:
@@ -106,6 +116,11 @@ class HeartbeatController:
                 round(gap * clock.silent_ticks)
             )
             out.append(heartbeat_record(source, extrapolated))
+        self._m_sweep_seconds.observe(time.perf_counter() - started)
+        self._m_beats.inc(len(out))
+        self._m_active_sources.set(
+            sum(1 for c in self._clocks.values() if c.active)
+        )
         return out
 
     def estimated_time(self, source: str) -> Optional[int]:

@@ -28,7 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import time as _time
+
 from ..core.anomaly import Anomaly
+from ..obs import MetricsRegistry, get_registry
 from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
 from ..parsing.tokenizer import Tokenizer
 from ..sequence.detector import LogSequenceDetector
@@ -88,15 +91,19 @@ class LogLensService:
         expiry_factor: float = 2.0,
         min_expiry_millis: int = 1000,
         heartbeats_enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.tokenizer_factory = tokenizer_factory or Tokenizer
         self.heartbeat_period_steps = max(1, heartbeat_period_steps)
         self.expiry_factor = expiry_factor
         self.min_expiry_millis = min_expiry_millis
         self.heartbeats_enabled = heartbeats_enabled
+        #: One registry spans every layer of this service (bus, parsing,
+        #: engine, heartbeat); snapshot it with :meth:`metrics_snapshot`.
+        self.metrics = metrics if metrics is not None else get_registry()
 
         # Transport and storage plane.
-        self.bus = MessageBus()
+        self.bus = MessageBus(metrics=self.metrics)
         self.bus.ensure_topic("logs.raw", partitions=num_partitions)
         self.bus.ensure_topic("logs.ingest", partitions=num_partitions)
         self.log_storage = LogStorage()
@@ -106,11 +113,23 @@ class LogLensService:
         self._ingest_consumer = self.bus.consumer(
             "logs.ingest", group="loglens-parser"
         )
-        self.heartbeat_controller = HeartbeatController()
+        self.heartbeat_controller = HeartbeatController(
+            metrics=self.metrics
+        )
 
         # Streaming plane: two stages with a shuffle in between.
-        self.parse_ctx = StreamingContext(num_partitions)
-        self.seq_ctx = StreamingContext(num_partitions)
+        self.parse_ctx = StreamingContext(
+            num_partitions, metrics=self.metrics
+        )
+        self.seq_ctx = StreamingContext(
+            num_partitions, metrics=self.metrics
+        )
+        self._m_expired_states = self.metrics.counter(
+            "heartbeat.expired_states"
+        )
+        self._m_partition_sweep = self.metrics.histogram(
+            "heartbeat.partition_sweep_seconds"
+        )
         self._pattern_bv = self.parse_ctx.broadcast(PatternModel([]))
         self._sequence_bv = self.seq_ctx.broadcast(SequenceModel([]))
 
@@ -172,7 +191,11 @@ class LogLensService:
         model = self._pattern_bv.get_value(worker.block_manager)
         cached = getattr(worker, "_loglens_parser", None)
         if cached is None or cached.model is not model:
-            cached = FastLogParser(model, tokenizer=self.tokenizer_factory())
+            cached = FastLogParser(
+                model,
+                tokenizer=self.tokenizer_factory(),
+                metrics=self.metrics,
+            )
             worker._loglens_parser = cached  # type: ignore[attr-defined]
         payload = record.value
         result = cached.parse(payload["raw"], source=payload["source"])
@@ -207,9 +230,17 @@ class LogLensService:
             # Zero-downtime update: swap rules, keep surviving open events.
             detector.model = model
         if record.is_heartbeat:
+            # A heartbeat triggers this partition's expired-state sweep;
+            # time it and count what it expired.
+            sweep_started = _time.perf_counter()
             anomalies = detector.process_heartbeat(
                 record.timestamp_millis or 0
             )
+            self._m_partition_sweep.observe(
+                _time.perf_counter() - sweep_started
+            )
+            if anomalies:
+                self._m_expired_states.inc(len(anomalies))
         else:
             anomalies = detector.process(record.value)
         for anomaly in anomalies:
@@ -441,6 +472,17 @@ class LogLensService:
                 if detector is not None:
                     total += detector.open_event_count
         return total
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Aggregate observability snapshot across every layer.
+
+        One JSON-safe dict covering tokenizer/parser/index counters and
+        latency quantiles, engine batch latency, bus throughput and
+        consumer lag, and heartbeat sweep metrics — the export the
+        dashboard's metrics panel and the ``loglens metrics`` subcommand
+        render.
+        """
+        return self.metrics.to_dict()
 
     def stats(self) -> Dict[str, Any]:
         """Service-level counters for dashboards and tests."""

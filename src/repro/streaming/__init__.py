@@ -11,6 +11,7 @@ partitioning (:mod:`repro.streaming.partitioner`).
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
 from .engine import (
     BatchMetrics,
+    Collector,
     DStream,
     EngineMetrics,
     StreamingContext,
@@ -29,6 +30,7 @@ __all__ = [
     "BroadcastManager",
     "BroadcastVariable",
     "BatchMetrics",
+    "Collector",
     "DStream",
     "EngineMetrics",
     "StreamingContext",

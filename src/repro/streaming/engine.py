@@ -29,6 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..obs import MetricsRegistry, get_registry
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
 from .partitioner import HashPartitioner, HeartbeatAwarePartitioner, partition_records
 from .records import StreamRecord
@@ -37,6 +38,7 @@ from .state import StateMap
 __all__ = [
     "WorkerContext",
     "DStream",
+    "Collector",
     "BatchMetrics",
     "EngineMetrics",
     "StreamingContext",
@@ -70,6 +72,42 @@ class _Node:
         self.kind = kind
         self.fn = fn
         self.children: List["_Node"] = []
+
+
+class Collector:
+    """A terminal sink safe to read while parallel workers append.
+
+    ``DStream.collect`` hands back the *live* output list, which callers
+    can iterate torn mid-batch when ``parallel=True`` — an appending
+    worker thread may resize the list under the iteration.
+    :meth:`snapshot` returns a consistent copy taken under the same lock
+    the appenders hold; call it at batch boundaries (after ``run_batch``
+    returns, all appends for that batch have happened-before the caller).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[StreamRecord] = []
+
+    def append(self, record: StreamRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def snapshot(self) -> List[StreamRecord]:
+        """A consistent copy of everything collected so far."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> List[StreamRecord]:
+        """Drain: return a snapshot and empty the collector atomically."""
+        with self._lock:
+            out = self._records
+            self._records = []
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
 
 
 class DStream:
@@ -125,16 +163,20 @@ class DStream:
         return self._attach("sink", fn)
 
     def collect(self) -> List[StreamRecord]:
-        """Terminal sink into a list; returns the (live) list object."""
-        out: List[StreamRecord] = []
-        lock = threading.Lock()
+        """Terminal sink into a list; returns the (live) list object.
 
-        def _collector(record: StreamRecord) -> None:
-            with lock:
-                out.append(record)
+        Appends are locked, but iterating the returned list while a
+        ``parallel=True`` batch is mid-flight can tear; between batches
+        the list is stable.  Prefer :meth:`collector` when readers and
+        batches may overlap — its ``snapshot()`` is always consistent.
+        """
+        return self.collector()._records
 
-        self._attach("sink", _collector)
-        return out
+    def collector(self) -> Collector:
+        """Terminal sink into a :class:`Collector` (snapshot semantics)."""
+        collector = Collector()
+        self._attach("sink", collector.append)
+        return collector
 
 
 @dataclass
@@ -188,6 +230,7 @@ class StreamingContext:
         num_partitions: int = 4,
         partitioner: Optional[HashPartitioner] = None,
         parallel: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -206,6 +249,16 @@ class StreamingContext:
         self._next_node_id = 0
         self._roots: List[_Node] = []
         self.metrics = EngineMetrics()
+        self.obs = metrics if metrics is not None else get_registry()
+        self._batch_seconds = self.obs.histogram("engine.batch_seconds")
+        self._rebroadcast_seconds = self.obs.histogram(
+            "engine.rebroadcast_apply_seconds"
+        )
+        self._records_in = self.obs.counter("engine.records")
+        self._partition_records = [
+            self.obs.counter("engine.partition_records", partition=str(i))
+            for i in range(num_partitions)
+        ]
         self._pool = (
             ThreadPoolExecutor(max_workers=num_partitions)
             if parallel
@@ -244,8 +297,20 @@ class StreamingContext:
         started = time.perf_counter()
         # Serialised lock step between batches: drain model updates with
         # zero downtime (the stream is simply between two batches).
-        updates = self.broadcast_manager.apply_pending_updates()
+        with self._rebroadcast_seconds.time():
+            updates = self.broadcast_manager.apply_pending_updates()
         buckets = partition_records(records, self.partitioner)
+        if len(buckets) != len(self.workers):
+            # zip() would silently drop trailing buckets (lost records)
+            # or starve trailing workers; a partitioner that disagrees
+            # with the context about the partition count is a bug.
+            raise ValueError(
+                "partitioner produced %d buckets for %d partitions; "
+                "partitioner.num_partitions must match the context"
+                % (len(buckets), len(self.workers))
+            )
+        for worker, bucket in zip(self.workers, buckets):
+            self._partition_records[worker.partition_id].inc(len(bucket))
         if self._pool is not None:
             futures = [
                 self._pool.submit(self._run_partition, worker, bucket)
@@ -257,6 +322,8 @@ class StreamingContext:
             for worker, bucket in zip(self.workers, buckets):
                 self._run_partition(worker, bucket)
         elapsed = time.perf_counter() - started
+        self._batch_seconds.observe(elapsed)
+        self._records_in.inc(len(records))
         self.metrics.batches += 1
         self.metrics.records += len(records)
         self.metrics.model_updates += updates

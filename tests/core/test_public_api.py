@@ -38,10 +38,15 @@ _EXPECTED = {
         "OpenEvent", "SeverityPolicy", "DefaultSeverityPolicy",
     ],
     "repro.streaming": [
-        "StreamingContext", "DStream", "StreamRecord", "heartbeat_record",
-        "BroadcastManager", "BroadcastVariable", "BlockManager",
-        "HashPartitioner", "HeartbeatAwarePartitioner", "StateMap",
-        "EngineMetrics", "BatchMetrics",
+        "StreamingContext", "DStream", "Collector", "StreamRecord",
+        "heartbeat_record", "BroadcastManager", "BroadcastVariable",
+        "BlockManager", "HashPartitioner", "HeartbeatAwarePartitioner",
+        "StateMap", "EngineMetrics", "BatchMetrics",
+    ],
+    "repro.obs": [
+        "Counter", "Gauge", "Histogram", "MetricsRegistry", "timed",
+        "get_registry", "set_registry", "render_table",
+        "DEFAULT_LATENCY_BUCKETS",
     ],
     "repro.service": [
         "LogLensService", "FleetService", "MessageBus", "Consumer",
@@ -82,7 +87,8 @@ def test_cli_entry_point():
     parser = build_parser()
     commands = parser._subparsers._group_actions[0].choices
     assert set(commands) == {
-        "train", "detect", "inspect", "parse", "watch", "quality"
+        "train", "detect", "inspect", "parse", "watch", "quality",
+        "metrics",
     }
 
 

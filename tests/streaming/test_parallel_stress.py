@@ -1,0 +1,195 @@
+"""Stress the parallel streaming path against the thread-safety fixes.
+
+Many batches × rebroadcasts × one *shared* ``FastLogParser`` broadcast to
+all workers: every partition thread races on the same ``PatternIndex``
+(group builds/memoisation) and the same stats counters.  The assertions
+pin the invariants that the pre-fix code could violate — lost records via
+``zip`` truncation, torn counter increments, double-built groups leaking
+inconsistent counts.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parsing.grok import GrokPattern
+from repro.parsing.parser import FastLogParser, PatternModel
+from repro.parsing.tokenizer import Tokenizer
+from repro.streaming.engine import Collector, StreamingContext
+from repro.streaming.partitioner import HashPartitioner
+from repro.streaming.records import StreamRecord
+
+
+def _model():
+    exprs = [
+        "job %{NUMBER:id} start",
+        "job %{NUMBER:id} done %{NUMBER:ms} ms",
+        "user %{WORD:u} login from %{IP:ip}",
+    ]
+    return PatternModel(
+        [
+            GrokPattern.from_string(e, pattern_id=i + 1)
+            for i, e in enumerate(exprs)
+        ]
+    )
+
+
+def _make_lines(batch_index, batch_size):
+    """Unique lines per batch, cycling over several log *shapes*.
+
+    Varying trailing token counts produce distinct signatures, forcing
+    concurrent group builds on the shared index; a slice of unparseable
+    shapes exercises the anomaly path and empty-group memoisation.
+    """
+    lines = []
+    for i in range(batch_size):
+        uid = batch_index * batch_size + i
+        shape = i % 6
+        if shape == 0:
+            lines.append("job %d start" % uid)
+        elif shape == 1:
+            lines.append("job %d done %d ms" % (uid, uid % 97))
+        elif shape == 2:
+            lines.append("user u%d login from 10.0.0.%d" % (uid, uid % 250))
+        else:
+            # Unparseable shapes of varying length -> distinct signatures.
+            lines.append(
+                "noise %d %s" % (uid, " ".join(["x"] * (shape - 2)))
+            )
+    return lines
+
+
+NUM_PARTITIONS = 8
+BATCHES = 24
+BATCH_SIZE = 160
+REBROADCAST_EVERY = 6
+
+
+class TestParallelSharedParserStress:
+    def test_no_lost_records_and_consistent_counters(self):
+        metrics = MetricsRegistry()
+        ctx = StreamingContext(
+            num_partitions=NUM_PARTITIONS, parallel=True, metrics=metrics
+        )
+        parser_bv = ctx.broadcast(
+            FastLogParser(_model(), metrics=metrics)
+        )
+        parsers = [parser_bv.get_value()]
+
+        def parse_op(record, worker):
+            # Every worker thread reads the SAME parser object.
+            parser = parser_bv.get_value(worker.block_manager)
+            result = parser.parse(record.value, source="stress")
+            return StreamRecord(value=(record.value, result),
+                                key=record.key)
+
+        collector = ctx.source().map(parse_op).collector()
+
+        total = 0
+        for b in range(BATCHES):
+            if b and b % REBROADCAST_EVERY == 0:
+                # Zero-downtime model update: a fresh shared parser whose
+                # index must be (re)built concurrently by all workers.
+                fresh = FastLogParser(
+                    _model(), tokenizer=Tokenizer(), metrics=metrics
+                )
+                parsers.append(fresh)
+                ctx.rebroadcast(parser_bv, fresh)
+            lines = _make_lines(b, BATCH_SIZE)
+            batch = [
+                StreamRecord(value=line, key="k%d" % (i % 31))
+                for i, line in enumerate(lines)
+            ]
+            ctx.run_batch(batch)
+            total += len(batch)
+        ctx.shutdown()
+
+        # --- No record lost, none duplicated -------------------------
+        out = collector.snapshot()
+        assert len(out) == total
+        seen = [raw for raw, _ in (r.value for r in out)]
+        assert len(set(seen)) == total
+
+        # --- Per-parser counters are exact ---------------------------
+        # Each lookup increments exactly one of group_hits/group_builds;
+        # torn increments (the pre-fix race) would break these identities.
+        assert sum(p.stats.total for p in parsers) == total
+        for p in parsers:
+            stats = p.index.stats
+            assert stats.lookups == p.stats.total
+            assert stats.group_hits + stats.group_builds == stats.lookups
+
+        # --- Registry families agree with the per-instance sums ------
+        assert metrics.counter("parser.parsed").value + \
+            metrics.counter("parser.anomalies").value == total
+        assert metrics.counter("index.lookups").value == total
+        assert metrics.counter("engine.records").value == total
+        per_partition = sum(
+            metrics.counter(
+                "engine.partition_records", partition=str(i)
+            ).value
+            for i in range(NUM_PARTITIONS)
+        )
+        assert per_partition == total
+
+        # --- Parse results are real parses, not torn state -----------
+        parsed = [res for _, res in (r.value for r in out)
+                  if not _is_anomaly(res)]
+        assert parsed, "expected a parseable slice of the stream"
+        assert all(res.pattern_id in (1, 2, 3) for res in parsed)
+
+        # --- Engine/batch instrumentation saw every batch ------------
+        assert metrics.histogram("engine.batch_seconds").count == BATCHES
+        assert metrics.histogram(
+            "engine.rebroadcast_apply_seconds"
+        ).count == BATCHES
+
+
+def _is_anomaly(result):
+    from repro.core.anomaly import Anomaly
+
+    return isinstance(result, Anomaly)
+
+
+class TestRunBatchPartitionerValidation:
+    def test_mismatched_partitioner_raises_instead_of_dropping(self):
+        """A partitioner producing more buckets than workers used to have
+        its trailing buckets silently zip-dropped — lost records."""
+        ctx = StreamingContext(num_partitions=2)
+        out = ctx.source().collect()
+        ctx.partitioner = HashPartitioner(5)
+        with pytest.raises(ValueError) as exc:
+            ctx.run_batch([StreamRecord(value=1, key="k")])
+        assert "5" in str(exc.value) and "2" in str(exc.value)
+        assert out == []  # nothing half-processed
+
+    def test_matching_custom_partitioner_still_works(self):
+        ctx = StreamingContext(num_partitions=3)
+        ctx.partitioner = HashPartitioner(3)
+        out = ctx.source().collect()
+        ctx.run_batch([StreamRecord(value=i, key=str(i)) for i in range(9)])
+        assert len(out) == 9
+
+
+class TestCollector:
+    def test_snapshot_is_a_stable_copy(self):
+        ctx = StreamingContext(num_partitions=2)
+        collector = ctx.source().collector()
+        ctx.run_batch([StreamRecord(value=i, key=str(i)) for i in range(5)])
+        snap = collector.snapshot()
+        ctx.run_batch([StreamRecord(value=9, key="z")])
+        assert len(snap) == 5          # unchanged by later batches
+        assert len(collector) == 6
+
+    def test_clear_drains_atomically(self):
+        collector = Collector()
+        for i in range(3):
+            collector.append(StreamRecord(value=i))
+        drained = collector.clear()
+        assert len(drained) == 3
+        assert len(collector) == 0
+
+    def test_collect_list_is_live_but_batch_stable(self):
+        ctx = StreamingContext(num_partitions=2)
+        out = ctx.source().collect()
+        ctx.run_batch([StreamRecord(value=1, key="a")])
+        assert len(out) == 1
