@@ -67,7 +67,7 @@ print("\nAnomalies stored: %d (ground truth %d)" % (
 for kind, count in sorted(Counter(d["type"] for d in docs).items()):
     print("    %-22s %d" % (kind, count))
 
-stats = service.stats()
+stats = service.report(include_metrics=False).counters()
 print("\nService stats:")
 for key in ("logs_archived", "parse_batches", "sequence_batches",
             "model_updates", "downtime_seconds"):

@@ -56,7 +56,7 @@ service.ingest(dataset.test[half:], source="d2")
 service.run_until_drained()
 service.final_flush()
 
-stats = service.stats()
+stats = service.report(include_metrics=False).counters()
 print("\nFinal state:")
 print("    anomalies stored : %d" % stats["anomalies"])
 print("    model updates    : %d" % stats["model_updates"])

@@ -19,6 +19,15 @@ Quickstart::
 """
 
 from .core import Anomaly, AnomalyType, LogLens, LogLensConfig, Severity
+from .errors import (
+    BroadcastError,
+    LogLensError,
+    OperatorError,
+    PartitioningError,
+    QuarantinedRecordError,
+    TopicNotFoundError,
+)
+from .faults import FaultInjected, FaultPlan, ManualClock, SystemClock
 from .obs import MetricsRegistry, get_registry
 from .parsing import (
     FastLogParser,
@@ -36,7 +45,8 @@ from .sequence import (
     SequenceModel,
     SequenceModelLearner,
 )
-from .service import LogLensService, ModelBuilder
+from .service import LogLensService, ModelBuilder, ServiceReport
+from .streaming import QuarantinedRecord, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -60,5 +70,18 @@ __all__ = [
     "SequenceModelLearner",
     "LogLensService",
     "ModelBuilder",
+    "ServiceReport",
+    "LogLensError",
+    "OperatorError",
+    "QuarantinedRecordError",
+    "TopicNotFoundError",
+    "BroadcastError",
+    "PartitioningError",
+    "FaultInjected",
+    "FaultPlan",
+    "ManualClock",
+    "SystemClock",
+    "QuarantinedRecord",
+    "RetryPolicy",
     "__version__",
 ]

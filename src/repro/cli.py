@@ -1,6 +1,6 @@
 """Command-line interface for the LogLens reproduction.
 
-Seven subcommands cover the library's workflow from a shell::
+Eight subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
@@ -9,12 +9,17 @@ Seven subcommands cover the library's workflow from a shell::
     loglens watch   app.log    -m model.json      # follow a live log file
     loglens quality sample.log -m model.json      # drift check (coverage)
     loglens metrics stream.log -m model.json      # observability snapshot
+    loglens chaos   stream.log -m model.json      # fault-injection proof
 
 ``train`` reads raw lines (one log per line), discovers patterns, learns
 automata, and writes one JSON model file.  ``detect`` replays a stream
 through both detectors and prints one JSON document per anomaly.
 ``watch`` tails a growing file through the full real-time service,
-printing anomalies as they are detected.
+printing anomalies as they are detected.  ``chaos`` replays a stream
+while deterministically injecting operator failures, poison records, and
+flaky broadcast fetches, then proves the batch completed with zero lost
+records (retried or quarantined to dead-letter topics) — all on a
+virtual clock, with no wall-clock sleeping.
 """
 
 from __future__ import annotations
@@ -144,6 +149,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--max-dist", type=float, default=0.3,
                          help=argparse.SUPPRESS)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a stream under deterministic fault injection and "
+             "prove zero-loss fault tolerance",
+    )
+    chaos.add_argument("logs", help="streaming log file ('-' for stdin)")
+    chaos.add_argument(
+        "-m", "--model", default=None, help="model file from 'train'"
+    )
+    chaos.add_argument(
+        "--train", default=None, metavar="NORMAL_LOGS",
+        help="train in-process from these normal-run logs instead of "
+             "loading a model file",
+    )
+    chaos.add_argument(
+        "--source", default="chaos", help="source name for ingested lines"
+    )
+    chaos.add_argument(
+        "--fail-first", type=int, default=2, metavar="N",
+        help="inject N transient parse-operator failures, healed by "
+             "retries (default 2)",
+    )
+    chaos.add_argument(
+        "--poison", default=None, metavar="SUBSTRING",
+        help="lines containing SUBSTRING fail permanently and must land "
+             "in the dead-letter topic",
+    )
+    chaos.add_argument(
+        "--flaky-broadcast", type=int, default=0, metavar="N",
+        help="fail the first N broadcast fetches (healed by retries)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="retry budget per operator call (default 3)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the raw JSON report instead of a summary",
+    )
+    chaos.add_argument("--max-dist", type=float, default=0.3,
+                       help=argparse.SUPPRESS)
 
     quality = sub.add_parser(
         "quality", help="report how well a model fits a log sample"
@@ -304,7 +351,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     service.ingest(lines, source=args.source)
     service.run_until_drained()
     service.final_flush()
-    snapshot = service.metrics_snapshot()
+    snapshot = service.report().metrics
     if args.json:
         print(json.dumps(snapshot, sort_keys=True, indent=2))
     else:
@@ -312,6 +359,117 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     print(
         "%d logs analysed, %d metric families"
         % (len(lines), len(snapshot)),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Prove fault tolerance end to end, deterministically.
+
+    Replays a stream through the full service while a
+    :class:`~repro.faults.FaultPlan` injects transient parse-operator
+    failures (healed by retries), optional poison records (quarantined
+    to the dead-letter topic), and optional flaky broadcast fetches.
+    Backoff runs on a virtual clock, so the command never sleeps.  Exits
+    0 only when every ingested record is accounted for — parsed,
+    reported as an anomaly, or quarantined with failure metadata.
+    """
+    from .faults import FaultPlan, ManualClock
+    from .obs import get_registry
+    from .streaming.retry import RetryPolicy
+
+    registry = get_registry()
+    registry.reset()  # only this run's activity in the report
+    lens = _make_lens(args)
+    if args.model:
+        lens.load(args.model)
+    elif args.train:
+        training = _read_lines(args.train)
+        if not training:
+            print("error: no training logs read", file=sys.stderr)
+            return 2
+        lens.fit(training)
+    else:
+        print(
+            "error: provide -m/--model or --train NORMAL_LOGS",
+            file=sys.stderr,
+        )
+        return 2
+
+    clock = ManualClock()
+    plan = FaultPlan(clock=clock)
+    if args.fail_first > 0:
+        plan.fail_first("operator:flat_map:*", args.fail_first)
+    if args.poison is not None:
+        needle = args.poison
+
+        def is_poison(record):
+            value = getattr(record, "value", None)
+            raw = value.get("raw", "") if isinstance(value, dict) else ""
+            return needle in raw
+
+        plan.poison("operator:flat_map:*", is_poison)
+    if args.flaky_broadcast > 0:
+        plan.flaky_broadcast_fetch(args.flaky_broadcast)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay_seconds=0.01,
+        clock=clock,
+    )
+    service = lens.to_service(retry_policy=policy, fault_plan=plan)
+
+    lines = _read_lines(args.logs)
+    ingested = service.ingest(lines, source=args.source)
+    step_reports = service.run_until_drained()
+    service.final_flush()
+
+    report = service.report(include_metrics=False)
+    dead_letters = service.drain_dead_letters()
+    parsed = sum(r.parsed for r in step_reports)
+    unparsed = len(service.anomaly_storage.by_type("unparsed_log"))
+    parse_quarantined = service.parse_ctx.quarantined_total
+    lost = ingested - parsed - unparsed - parse_quarantined
+
+    doc = {
+        "ingested": ingested,
+        "parsed": parsed,
+        "unparsed_anomalies": unparsed,
+        "anomalies": report.anomalies,
+        "open_events": report.open_events,
+        "retries": report.quarantine.retries,
+        "quarantined": report.quarantine.quarantined,
+        "dead_letters": [m.value for m in dead_letters],
+        "virtual_backoff_seconds": clock.total_slept,
+        "faults": plan.snapshot(),
+        "lost": lost,
+    }
+    if args.json:
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        print(
+            "chaos: %d ingested, %d parsed, %d unparsed, %d retries, "
+            "%d quarantined, %d dead-lettered (%.3fs virtual backoff)"
+            % (
+                ingested, parsed, unparsed, doc["retries"],
+                doc["quarantined"], len(dead_letters),
+                clock.total_slept,
+            )
+        )
+        for message in dead_letters:
+            print("dead-letter: %s" % json.dumps(
+                message.value, sort_keys=True, default=str
+            ))
+    if lost:
+        print(
+            "FAIL: %d record(s) unaccounted for under injected faults"
+            % lost,
+            file=sys.stderr,
+        )
+        return 3
+    print(
+        "OK: all %d records accounted for under injected faults"
+        % ingested,
         file=sys.stderr,
     )
     return 0
@@ -337,6 +495,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "quality": _cmd_quality,
     "metrics": _cmd_metrics,
+    "chaos": _cmd_chaos,
 }
 
 

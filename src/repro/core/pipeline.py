@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Any, Iterable, List, Optional, Sequence, Union
 
 from ..parsing.editing import PatternSetEditor
 from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
@@ -132,8 +132,14 @@ class LogLens:
     # ------------------------------------------------------------------
     # Deployment and persistence
     # ------------------------------------------------------------------
-    def to_service(self) -> LogLensService:
-        """A fully wired real-time service carrying the fitted models."""
+    def to_service(self, **service_kwargs: Any) -> LogLensService:
+        """A fully wired real-time service carrying the fitted models.
+
+        Extra keyword arguments are forwarded to
+        :class:`~repro.service.loglens_service.LogLensService` — e.g.
+        ``retry_policy=`` / ``fault_plan=`` for fault-tolerance and
+        chaos configurations.
+        """
         self._require_fitted()
         service = LogLensService(
             num_partitions=self.config.num_partitions,
@@ -143,6 +149,7 @@ class LogLens:
             expiry_factor=self.config.expiry_factor,
             min_expiry_millis=self.config.min_expiry_millis,
             heartbeats_enabled=self.config.heartbeats_enabled,
+            **service_kwargs,
         )
         service.model_manager.register_built(
             # Re-wrap so the service's model storage holds version 1.

@@ -1,0 +1,114 @@
+"""The exception surface of the LogLens reproduction.
+
+Errors are API: operators of an always-on service act on exception types
+and their payloads, not on string matching.  Every error the engine, the
+message bus, or the fault-tolerance layer raises derives from
+:class:`LogLensError`, so ``except LogLensError`` catches exactly the
+failures this system defines while letting genuine bugs surface.
+
+Where an error replaces a builtin previously raised (``KeyError`` from
+the bus, ``ValueError`` from the scheduler), the new class *also*
+subclasses that builtin, so existing ``except KeyError`` call sites keep
+working across the transition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = [
+    "LogLensError",
+    "OperatorError",
+    "QuarantinedRecordError",
+    "TopicNotFoundError",
+    "BroadcastError",
+    "PartitioningError",
+]
+
+
+class LogLensError(Exception):
+    """Base class for every error raised by the LogLens reproduction."""
+
+
+class OperatorError(LogLensError):
+    """An operator invocation failed (one attempt, one record).
+
+    Carries enough metadata to locate the failure without parsing the
+    message: the operator graph node, its kind, the partition it ran on,
+    and how many attempts have been made so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node_id: Optional[int] = None,
+        kind: Optional[str] = None,
+        partition_id: Optional[int] = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.kind = kind
+        self.partition_id = partition_id
+        self.attempts = attempts
+
+
+class QuarantinedRecordError(OperatorError):
+    """A record exhausted its retry budget and was quarantined.
+
+    Raised to the caller only when the active
+    :class:`~repro.streaming.retry.RetryPolicy` is configured with
+    ``on_exhaust="raise"``; in the default ``"quarantine"`` mode the
+    record is routed to the dead-letter sink instead and the batch
+    continues.  ``record`` is the poison record the failing operator
+    received.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        record: Any = None,
+        node_id: Optional[int] = None,
+        kind: Optional[str] = None,
+        partition_id: Optional[int] = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(
+            message,
+            node_id=node_id,
+            kind=kind,
+            partition_id=partition_id,
+            attempts=attempts,
+        )
+        self.record = record
+
+
+class TopicNotFoundError(LogLensError, KeyError):
+    """A bus operation referenced a topic that does not exist.
+
+    The message lists every known topic so an operator reading a log line
+    can immediately spot a misspelling or a missing ``ensure_topic``.
+    """
+
+    def __init__(self, topic: str, known: Sequence[str] = ()) -> None:
+        self.topic = topic
+        self.known_topics: List[str] = sorted(known)
+        if self.known_topics:
+            detail = "known topics: %s" % ", ".join(self.known_topics)
+        else:
+            detail = "no topics exist yet"
+        super().__init__("unknown topic %r (%s)" % (topic, detail))
+
+
+class BroadcastError(LogLensError, KeyError):
+    """A broadcast operation referenced an unknown broadcast id."""
+
+    def __init__(self, bv_id: int) -> None:
+        self.bv_id = bv_id
+        super().__init__("unknown broadcast id %d" % bv_id)
+
+
+class PartitioningError(LogLensError, ValueError):
+    """A partitioner disagreed with its context about the layout."""

@@ -1,0 +1,17 @@
+"""Deterministic fault injection for the streaming substrate.
+
+The always-on deployment the paper describes (Section V: rebroadcast
+without restart, heartbeat-driven sweeps) is only credible if the system
+provably survives failure — so the reproduction ships a first-class
+chaos harness.  A :class:`FaultPlan` injects failures (raise-on-nth-call,
+slow-call, flaky broadcast fetch) at instrumented sites on a
+deterministic schedule, and the :class:`ManualClock` lets retry backoff
+and per-attempt timeouts be exercised without wall-clock sleeps.
+
+See ``docs/FAULT_TOLERANCE.md`` and the ``loglens chaos`` subcommand.
+"""
+
+from .clock import ManualClock, SystemClock
+from .plan import FaultInjected, FaultPlan
+
+__all__ = ["FaultInjected", "FaultPlan", "ManualClock", "SystemClock"]

@@ -1,0 +1,243 @@
+"""Deterministic fault-injection harness.
+
+A :class:`FaultPlan` is a schedule of failures to inject at named *sites*
+— instrumented call points spread through the system:
+
+* ``operator:<kind>:<node_id>`` — every streaming-operator invocation
+  (:meth:`StreamingContext._apply`), one site per graph node;
+* ``broadcast.pull`` — worker block-cache misses pulling a broadcast
+  value from the driver;
+* ``heartbeat.emit`` — per-source heartbeat emission in the controller.
+
+Rules address sites by exact name or ``fnmatch`` pattern
+(``operator:flat_map:*``), and fire on a deterministic schedule: the
+first N matching calls (:meth:`fail_first`), an explicit set of call
+ordinals (:meth:`fail_nth`), or every call whose *subject* — the record
+under processing — matches a predicate (:meth:`poison`).  Slow-call
+rules advance the plan's clock instead of sleeping, so a per-attempt
+timeout can be exercised without wall-clock delay.
+
+Determinism: rule counters are per-rule and lock-protected, so a serial
+streaming context replays the exact same failure schedule every run.
+Under ``parallel=True`` the *set* of injected failures is still exact;
+only their interleaving across partitions varies.
+"""
+
+from __future__ import annotations
+
+import threading
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import LogLensError
+from .clock import ManualClock
+
+__all__ = ["FaultInjected", "FaultPlan"]
+
+
+class FaultInjected(LogLensError):
+    """The failure a :class:`FaultPlan` rule injects by default."""
+
+
+class _Rule:
+    __slots__ = ("site", "action", "calls", "first", "always",
+                 "predicate", "exc_factory", "seconds", "seen",
+                 "triggered")
+
+    def __init__(
+        self,
+        site: str,
+        action: str,
+        *,
+        calls: Optional[frozenset] = None,
+        first: int = 0,
+        always: bool = False,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        exc_factory: Optional[Callable[[], BaseException]] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        self.site = site
+        self.action = action  # "raise" | "slow"
+        self.calls = calls
+        self.first = first
+        self.always = always
+        self.predicate = predicate
+        self.exc_factory = exc_factory
+        self.seconds = seconds
+        self.seen = 0       # matching invocations observed
+        self.triggered = 0  # faults actually injected
+
+    def fires(self, subject: Any) -> bool:
+        """Decide (and count) whether this rule fires for one call."""
+        if self.predicate is not None and not self.predicate(subject):
+            return False
+        self.seen += 1
+        if self.always:
+            return True
+        if self.calls is not None:
+            return self.seen in self.calls
+        return self.seen <= self.first
+
+
+class FaultPlan:
+    """A deterministic, thread-safe schedule of injected failures.
+
+    All registration methods return ``self`` so plans read as one
+    chained expression::
+
+        plan = (FaultPlan()
+                .fail_first("operator:map:*", 2)
+                .poison("operator:flat_map:*", lambda r: "bad" in r.value)
+                .flaky_broadcast_fetch(3))
+    """
+
+    def __init__(self, clock: Optional[ManualClock] = None) -> None:
+        #: Clock that slow-call rules advance; share it with the
+        #: :class:`~repro.streaming.retry.RetryPolicy` under test so
+        #: injected slowness is visible to per-attempt timeouts.
+        self.clock = clock if clock is not None else ManualClock()
+        self._lock = threading.Lock()
+        self._rules: List[_Rule] = []
+        self._site_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Rule registration
+    # ------------------------------------------------------------------
+    def fail_nth(
+        self,
+        site: str,
+        *calls: int,
+        exc: Optional[Callable[[], BaseException]] = None,
+    ) -> "FaultPlan":
+        """Raise on the given 1-based call ordinals at ``site``."""
+        return self._add(_Rule(
+            site, "raise", calls=frozenset(calls), exc_factory=exc,
+        ))
+
+    def fail_first(
+        self,
+        site: str,
+        n: int,
+        exc: Optional[Callable[[], BaseException]] = None,
+    ) -> "FaultPlan":
+        """Raise on the first ``n`` calls at ``site`` (then heal)."""
+        return self._add(_Rule(site, "raise", first=n, exc_factory=exc))
+
+    def poison(
+        self,
+        site: str,
+        predicate: Callable[[Any], bool],
+        exc: Optional[Callable[[], BaseException]] = None,
+    ) -> "FaultPlan":
+        """Raise on *every* call whose subject matches ``predicate``.
+
+        This models a poison record: no amount of retrying helps, so the
+        record is destined for quarantine and the dead-letter topic.
+        """
+        return self._add(_Rule(
+            site, "raise", always=True, predicate=predicate,
+            exc_factory=exc,
+        ))
+
+    def slow_nth(
+        self, site: str, *calls: int, seconds: float
+    ) -> "FaultPlan":
+        """Advance the plan clock by ``seconds`` on the given calls."""
+        return self._add(_Rule(
+            site, "slow", calls=frozenset(calls), seconds=seconds,
+        ))
+
+    def slow_first(
+        self, site: str, n: int, seconds: float
+    ) -> "FaultPlan":
+        return self._add(_Rule(site, "slow", first=n, seconds=seconds))
+
+    def flaky_broadcast_fetch(
+        self,
+        n: int,
+        exc: Optional[Callable[[], BaseException]] = None,
+    ) -> "FaultPlan":
+        """Fail the first ``n`` broadcast pulls from worker caches.
+
+        The failure surfaces inside whichever operator performed the
+        fetch, so the engine's retry policy heals it — proving that
+        rebroadcasts still apply under transient fetch failures.
+        """
+        return self.fail_first("broadcast.pull", n, exc=exc)
+
+    def _add(self, rule: _Rule) -> "FaultPlan":
+        with self._lock:
+            self._rules.append(rule)
+        return self
+
+    # ------------------------------------------------------------------
+    # Instrumented call points
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        site: str,
+        fn: Callable[..., Any],
+        *args: Any,
+        subject: Any = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` at ``site``, injecting any scheduled fault first.
+
+        ``subject`` is handed to rule predicates (the engine passes the
+        record being processed).  Slow rules advance the clock *before*
+        the call; raise rules abort it with the rule's exception.
+        """
+        slow_seconds = 0.0
+        raise_rule: Optional[_Rule] = None
+        with self._lock:
+            self._site_calls[site] = self._site_calls.get(site, 0) + 1
+            for rule in self._rules:
+                if not fnmatchcase(site, rule.site):
+                    continue
+                if not rule.fires(subject):
+                    continue
+                rule.triggered += 1
+                if rule.action == "slow":
+                    slow_seconds += rule.seconds
+                elif raise_rule is None:
+                    raise_rule = rule
+        if slow_seconds:
+            self.clock.advance(slow_seconds)
+        if raise_rule is not None:
+            factory = raise_rule.exc_factory
+            if factory is not None:
+                raise factory()
+            raise FaultInjected(
+                "injected fault at %s (call %d)"
+                % (site, raise_rule.seen)
+            )
+        return fn(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def call_count(self, site: str) -> int:
+        """Invocations observed at one exact site name."""
+        with self._lock:
+            return self._site_calls.get(site, 0)
+
+    def injected_total(self) -> int:
+        """Total faults injected across every rule."""
+        with self._lock:
+            return sum(r.triggered for r in self._rules)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe summary (the chaos CLI prints this)."""
+        with self._lock:
+            return {
+                "sites": dict(self._site_calls),
+                "rules": [
+                    {
+                        "site": r.site,
+                        "action": r.action,
+                        "seen": r.seen,
+                        "triggered": r.triggered,
+                    }
+                    for r in self._rules
+                ],
+            }

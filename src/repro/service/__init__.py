@@ -10,13 +10,18 @@ wired :class:`~repro.service.loglens_service.LogLensService`.
 """
 
 from .agent import FileTailAgent, ReplayAgent
-from .bus import Consumer, Message, MessageBus
+from .bus import Consumer, Message, MessageBus, dead_letter_topic
 from .dashboard import AdHocQuery, Dashboard
 from .fleet import FleetService
 from .heartbeat import HeartbeatController, SourceClock
 from .scheduler import RelearnAutomation, ScheduledTask, SimulatedScheduler
 from .log_manager import LogManager, LogManagerStats
-from .loglens_service import LogLensService, StepReport
+from .loglens_service import (
+    LogLensService,
+    QuarantineReport,
+    ServiceReport,
+    StepReport,
+)
 from .model_builder import BuiltModels, ModelBuilder
 from .model_controller import (
     ControlInstruction,
@@ -45,7 +50,10 @@ __all__ = [
     "LogManager",
     "LogManagerStats",
     "LogLensService",
+    "QuarantineReport",
+    "ServiceReport",
     "StepReport",
+    "dead_letter_topic",
     "BuiltModels",
     "ModelBuilder",
     "ControlInstruction",

@@ -5,6 +5,13 @@ components (paper, Section II-B).  This broker reproduces the surface the
 system relies on: named topics with partitions, append-only partition
 logs, offset-tracking consumers with consumer groups, and keyed produce
 for co-partitioning.  Everything is process-local and thread-safe.
+
+**Dead-letter topics**: records that exhaust the streaming engine's
+retry budget are quarantined via :meth:`MessageBus.produce_failed`, which
+wraps the value in a failure envelope and appends it to the origin's
+dead-letter topic (``<origin>.deadletter``, auto-created).  Operators
+inspect and recover them with :meth:`MessageBus.drain_dead_letters`; the
+``bus.dead_letter_depth`` gauge tracks the backlog.
 """
 
 from __future__ import annotations
@@ -14,9 +21,28 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..errors import TopicNotFoundError
 from ..obs import MetricsRegistry, get_registry
 
-__all__ = ["Message", "MessageBus", "Consumer"]
+__all__ = [
+    "Message",
+    "MessageBus",
+    "Consumer",
+    "dead_letter_topic",
+    "DEAD_LETTER_SUFFIX",
+    "DEAD_LETTER_GROUP",
+]
+
+#: Suffix appended to an origin topic to name its dead-letter topic.
+DEAD_LETTER_SUFFIX = ".deadletter"
+
+#: Consumer group used by ``drain_dead_letters`` (depth = end − committed).
+DEAD_LETTER_GROUP = "__dead-letter-drain__"
+
+
+def dead_letter_topic(origin: str) -> str:
+    """The dead-letter topic name for an origin topic/stage."""
+    return origin + DEAD_LETTER_SUFFIX
 
 
 @dataclass(frozen=True)
@@ -122,8 +148,108 @@ class MessageBus:
     def _get_topic(self, name: str) -> _Topic:
         topic = self._topics.get(name)
         if topic is None:
-            raise KeyError("unknown topic %r" % name)
+            raise TopicNotFoundError(name, known=list(self._topics))
         return topic
+
+    # ------------------------------------------------------------------
+    # Dead-letter topics (quarantine transport)
+    # ------------------------------------------------------------------
+    def produce_failed(
+        self,
+        origin_topic: str,
+        value: Any,
+        error: Any,
+        key: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Message:
+        """Quarantine a failed record onto ``origin_topic``'s dead-letter
+        topic (created on first use).
+
+        ``error`` may be an exception instance (its type name is
+        captured) or any printable description.  The produced value is a
+        failure envelope: ``{"origin", "value", "error", "error_type",
+        "metadata"}``.  Keyed records keep per-key ordering in the
+        dead-letter topic too.
+        """
+        if isinstance(error, BaseException):
+            error_text = str(error) or repr(error)
+            error_type: Optional[str] = type(error).__name__
+        else:
+            error_text = str(error)
+            error_type = None
+        envelope = {
+            "origin": origin_topic,
+            "value": value,
+            "error": error_text,
+            "error_type": error_type,
+            "metadata": dict(metadata or {}),
+        }
+        topic = dead_letter_topic(origin_topic)
+        self.ensure_topic(topic)
+        message = self.produce(topic, envelope, key=key)
+        self._metrics.counter(
+            "bus.dead_lettered", topic=origin_topic
+        ).inc()
+        self._refresh_dead_letter_gauge(origin_topic)
+        return message
+
+    def dead_letter_topics(self) -> List[str]:
+        """Origin names that currently have a dead-letter topic."""
+        with self._lock:
+            return sorted(
+                name[: -len(DEAD_LETTER_SUFFIX)]
+                for name in self._topics
+                if name.endswith(DEAD_LETTER_SUFFIX)
+            )
+
+    def dead_letter_depth(self, origin_topic: Optional[str] = None) -> int:
+        """Quarantined records not yet drained (one origin, or all)."""
+        origins = (
+            [origin_topic]
+            if origin_topic is not None
+            else self.dead_letter_topics()
+        )
+        depth = 0
+        for origin in origins:
+            topic = dead_letter_topic(origin)
+            with self._lock:
+                if topic not in self._topics:
+                    continue
+            ends = self.end_offsets(topic)
+            committed = self.committed(topic, DEAD_LETTER_GROUP)
+            depth += sum(e - c for e, c in zip(ends, committed))
+        return depth
+
+    def drain_dead_letters(
+        self,
+        origin_topic: Optional[str] = None,
+        max_records: int = 10000,
+    ) -> List[Message]:
+        """Consume pending dead-letter envelopes (one origin, or all).
+
+        Draining advances the shared :data:`DEAD_LETTER_GROUP` offsets,
+        so each quarantined record is handed out exactly once — the
+        hand-off point for reprocessing or archival tooling.
+        """
+        origins = (
+            [origin_topic]
+            if origin_topic is not None
+            else self.dead_letter_topics()
+        )
+        out: List[Message] = []
+        for origin in origins:
+            topic = dead_letter_topic(origin)
+            with self._lock:
+                if topic not in self._topics:
+                    continue
+            out.extend(self._poll(topic, DEAD_LETTER_GROUP, max_records))
+            self._refresh_dead_letter_gauge(origin)
+        return out
+
+    def _refresh_dead_letter_gauge(self, origin_topic: str) -> None:
+        self._metrics.gauge(
+            "bus.dead_letter_depth", topic=origin_topic
+        ).set(self.dead_letter_depth(origin_topic))
 
     # ------------------------------------------------------------------
     def _poll(

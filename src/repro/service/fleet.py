@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-from .loglens_service import LogLensService, StepReport
+from .loglens_service import LogLensService, ServiceReport, StepReport
 
 __all__ = ["FleetService"]
 
@@ -105,10 +105,17 @@ class FleetService:
             for service in self._services.values()
         )
 
+    def reports(self) -> Dict[str, "ServiceReport"]:
+        """Per-source :class:`ServiceReport` (counters only)."""
+        return {
+            source: service.report(include_metrics=False)
+            for source, service in sorted(self._services.items())
+        }
+
     def stats(self) -> Dict[str, Dict[str, Any]]:
         return {
-            source: service.stats()
-            for source, service in sorted(self._services.items())
+            source: report.counters()
+            for source, report in self.reports().items()
         }
 
     def open_event_count(self) -> int:

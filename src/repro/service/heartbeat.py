@@ -46,6 +46,12 @@ class HeartbeatController:
         Weight of the newest gap in the rate estimate (default 0.3).
     default_gap_millis:
         Gap assumed before any rate can be estimated (default 1000).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; per-source emission
+        runs through its ``heartbeat.emit`` site.  An injected (or real)
+        failure for one source skips that source's beat for the tick —
+        counted in ``heartbeat.emit_errors`` — instead of silencing
+        every other source's sweep.
     """
 
     def __init__(
@@ -53,16 +59,19 @@ class HeartbeatController:
         ewma_alpha: float = 0.3,
         default_gap_millis: int = 1000,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[object] = None,
     ) -> None:
         if not 0 < ewma_alpha <= 1:
             raise ValueError("ewma_alpha must be in (0, 1]")
         self.ewma_alpha = ewma_alpha
         self.default_gap_millis = default_gap_millis
+        self._fault_plan = fault_plan
         self._clocks: Dict[str, SourceClock] = {}
         obs = metrics if metrics is not None else get_registry()
         self._m_sweep_seconds = obs.histogram("heartbeat.sweep_seconds")
         self._m_beats = obs.counter("heartbeat.beats")
         self._m_active_sources = obs.gauge("heartbeat.active_sources")
+        self._m_emit_errors = obs.counter("heartbeat.emit_errors")
 
     # ------------------------------------------------------------------
     def observe(self, source: str, timestamp_millis: Optional[int]) -> None:
@@ -111,17 +120,34 @@ class HeartbeatController:
             if not clock.active or clock.last_timestamp is None:
                 continue
             clock.silent_ticks += 1
-            gap = clock.mean_gap or float(self.default_gap_millis)
-            extrapolated = clock.last_timestamp + int(
-                round(gap * clock.silent_ticks)
-            )
-            out.append(heartbeat_record(source, extrapolated))
+            try:
+                out.append(self._emit(source, clock))
+            except Exception:
+                # One source's failure must not silence the others'
+                # expiry sweeps; skip this beat and count it.
+                self._m_emit_errors.inc()
         self._m_sweep_seconds.observe(time.perf_counter() - started)
         self._m_beats.inc(len(out))
         self._m_active_sources.set(
             sum(1 for c in self._clocks.values() if c.active)
         )
         return out
+
+    def _emit(self, source: str, clock: SourceClock) -> StreamRecord:
+        """Build one source's heartbeat (fault-injectable)."""
+
+        def build() -> StreamRecord:
+            gap = clock.mean_gap or float(self.default_gap_millis)
+            extrapolated = clock.last_timestamp + int(
+                round(gap * clock.silent_ticks)
+            )
+            return heartbeat_record(source, extrapolated)
+
+        if self._fault_plan is not None:
+            return self._fault_plan.invoke(
+                "heartbeat.emit", build, subject=source
+            )
+        return build()
 
     def estimated_time(self, source: str) -> Optional[int]:
         """Current extrapolated log time of a source (None if unseen)."""

@@ -25,12 +25,14 @@ paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import time as _time
 
 from ..core.anomaly import Anomaly
+from ..faults import FaultPlan, ManualClock
 from ..obs import MetricsRegistry, get_registry
 from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
 from ..parsing.tokenizer import Tokenizer
@@ -38,6 +40,7 @@ from ..sequence.detector import LogSequenceDetector
 from ..sequence.model import SequenceModel
 from ..streaming.engine import StreamingContext, WorkerContext
 from ..streaming.records import StreamRecord
+from ..streaming.retry import QuarantinedRecord, RetryPolicy
 from ..streaming.state import StateMap
 from .bus import MessageBus
 from .heartbeat import HeartbeatController
@@ -47,7 +50,18 @@ from .model_controller import ModelBinding, ModelController
 from .model_manager import ModelManager, PATTERN_MODEL, SEQUENCE_MODEL
 from .storage import AnomalyStorage, LogStorage, ModelStorage
 
-__all__ = ["StepReport", "LogLensService"]
+__all__ = [
+    "StepReport",
+    "QuarantineReport",
+    "ServiceReport",
+    "LogLensService",
+    "PARSE_STAGE",
+    "SEQUENCE_STAGE",
+]
+
+#: Dead-letter origin names for the two streaming stages.
+PARSE_STAGE = "loglens.parse"
+SEQUENCE_STAGE = "loglens.sequence"
 
 
 @dataclass
@@ -60,6 +74,70 @@ class StepReport:
     sequence_anomalies: int
     heartbeats: int
     model_updates_applied: int
+    #: Operator re-executions performed during this step's batches.
+    retries: int = 0
+    #: Records quarantined to dead-letter topics during this step.
+    quarantined: int = 0
+
+
+@dataclass
+class QuarantineReport:
+    """Fault-tolerance accounting across both streaming stages."""
+
+    retries: int
+    quarantined: int
+    dead_letter_depth: int
+    dead_letter_origins: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ServiceReport:
+    """The one results surface of a running service.
+
+    Returned by :meth:`LogLensService.report`; merges the old
+    ``stats()`` counters and ``metrics_snapshot()`` export into one
+    typed object.  ``metrics`` is the full observability snapshot (or
+    ``None`` when requested without it).
+    """
+
+    steps: int
+    logs_archived: int
+    anomalies: int
+    open_events: int
+    parse_batches: int
+    sequence_batches: int
+    model_updates: int
+    downtime_seconds: float
+    quarantine: QuarantineReport
+    metrics: Optional[Dict[str, Any]] = None
+
+    def counters(self) -> Dict[str, Any]:
+        """The legacy ``stats()`` dict (exactly the historical keys)."""
+        return {
+            "steps": self.steps,
+            "logs_archived": self.logs_archived,
+            "anomalies": self.anomalies,
+            "open_events": self.open_events,
+            "parse_batches": self.parse_batches,
+            "sequence_batches": self.sequence_batches,
+            "model_updates": self.model_updates,
+            "downtime_seconds": self.downtime_seconds,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe export of the full report."""
+        out = self.counters()
+        out["quarantine"] = {
+            "retries": self.quarantine.retries,
+            "quarantined": self.quarantine.quarantined,
+            "dead_letter_depth": self.quarantine.dead_letter_depth,
+            "dead_letter_origins": list(
+                self.quarantine.dead_letter_origins
+            ),
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
 
 class LogLensService:
@@ -80,6 +158,17 @@ class LogLensService:
         Passed to every partition's sequence detector.
     heartbeats_enabled:
         The Figure 5 ablation switch.
+    retry_policy:
+        How both streaming stages re-execute failing operator calls.
+        Defaults to three zero-backoff attempts on a manual clock — so a
+        transient operator failure is healed in-place with no wall-clock
+        sleeping, and a record that keeps failing is quarantined to a
+        dead-letter topic instead of killing the step.  Pass
+        ``RetryPolicy(max_attempts=1, on_exhaust="raise")`` for legacy
+        fail-fast behaviour.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` installed across both
+        streaming contexts and the heartbeat controller (chaos testing).
     """
 
     def __init__(
@@ -92,6 +181,8 @@ class LogLensService:
         min_expiry_millis: int = 1000,
         heartbeats_enabled: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.tokenizer_factory = tokenizer_factory or Tokenizer
         self.heartbeat_period_steps = max(1, heartbeat_period_steps)
@@ -99,8 +190,14 @@ class LogLensService:
         self.min_expiry_millis = min_expiry_millis
         self.heartbeats_enabled = heartbeats_enabled
         #: One registry spans every layer of this service (bus, parsing,
-        #: engine, heartbeat); snapshot it with :meth:`metrics_snapshot`.
+        #: engine, heartbeat); snapshot it with :meth:`report`.
         self.metrics = metrics if metrics is not None else get_registry()
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.no_wait(max_attempts=3, clock=ManualClock())
+        )
+        self.fault_plan = fault_plan
 
         # Transport and storage plane.
         self.bus = MessageBus(metrics=self.metrics)
@@ -114,15 +211,24 @@ class LogLensService:
             "logs.ingest", group="loglens-parser"
         )
         self.heartbeat_controller = HeartbeatController(
-            metrics=self.metrics
+            metrics=self.metrics, fault_plan=fault_plan
         )
 
-        # Streaming plane: two stages with a shuffle in between.
+        # Streaming plane: two stages with a shuffle in between; both
+        # quarantine poison records to stage-specific dead-letter topics.
         self.parse_ctx = StreamingContext(
-            num_partitions, metrics=self.metrics
+            num_partitions,
+            metrics=self.metrics,
+            retry_policy=self.retry_policy,
+            dead_letter=self._quarantine_parse,
+            fault_plan=fault_plan,
         )
         self.seq_ctx = StreamingContext(
-            num_partitions, metrics=self.metrics
+            num_partitions,
+            metrics=self.metrics,
+            retry_policy=self.retry_policy,
+            dead_letter=self._quarantine_sequence,
+            fault_plan=fault_plan,
         )
         self._m_expired_states = self.metrics.counter(
             "heartbeat.expired_states"
@@ -260,6 +366,35 @@ class LogLensService:
     def _buffer_parsed(self, record: StreamRecord) -> None:
         self._parsed_buffer.append(record)
 
+    def _quarantine_parse(self, quarantined: QuarantinedRecord) -> None:
+        self._dead_letter(PARSE_STAGE, quarantined)
+
+    def _quarantine_sequence(
+        self, quarantined: QuarantinedRecord
+    ) -> None:
+        self._dead_letter(SEQUENCE_STAGE, quarantined)
+
+    def _dead_letter(
+        self, stage: str, quarantined: QuarantinedRecord
+    ) -> None:
+        """Route an exhausted record to the stage's dead-letter topic."""
+        payload = quarantined.to_payload()
+        self.bus.produce_failed(
+            stage,
+            payload["value"],
+            "%s: %s" % (quarantined.error_type, quarantined.error),
+            key=quarantined.record.key,
+            metadata={
+                "stage": stage,
+                "source": quarantined.record.source,
+                "partition_id": quarantined.partition_id,
+                "node_id": quarantined.node_id,
+                "operator_kind": quarantined.kind,
+                "attempts": quarantined.attempts,
+                "error_type": quarantined.error_type,
+            },
+        )
+
     def _event_key(self, parsed: ParsedLog) -> Optional[str]:
         model: SequenceModel = self._sequence_bv.get_value()
         for automaton in model.automata_for_pattern(parsed.pattern_id):
@@ -355,6 +490,10 @@ class LogLensService:
             model_updates_applied=(
                 parse_metrics.model_updates_applied
                 + seq_metrics.model_updates_applied
+            ),
+            retries=parse_metrics.retries + seq_metrics.retries,
+            quarantined=(
+                parse_metrics.quarantined + seq_metrics.quarantined
             ),
         )
 
@@ -473,32 +612,84 @@ class LogLensService:
                     total += detector.open_event_count
         return total
 
-    def metrics_snapshot(self) -> Dict[str, Any]:
-        """Aggregate observability snapshot across every layer.
+    # ------------------------------------------------------------------
+    # Quarantine surface
+    # ------------------------------------------------------------------
+    def retries_total(self) -> int:
+        """Operator re-executions across both streaming stages."""
+        return (
+            self.parse_ctx.retries_total + self.seq_ctx.retries_total
+        )
 
-        One JSON-safe dict covering tokenizer/parser/index counters and
-        latency quantiles, engine batch latency, bus throughput and
-        consumer lag, and heartbeat sweep metrics — the export the
-        dashboard's metrics panel and the ``loglens metrics`` subcommand
-        render.
+    def quarantined_total(self) -> int:
+        """Records quarantined across both streaming stages."""
+        return (
+            self.parse_ctx.quarantined_total
+            + self.seq_ctx.quarantined_total
+        )
+
+    def dead_letter_depth(self) -> int:
+        """Quarantined records not yet drained from dead-letter topics."""
+        return self.bus.dead_letter_depth()
+
+    def drain_dead_letters(self, max_records: int = 10000) -> List[Any]:
+        """Consume pending dead-letter envelopes from every stage."""
+        return self.bus.drain_dead_letters(max_records=max_records)
+
+    # ------------------------------------------------------------------
+    # The one results surface
+    # ------------------------------------------------------------------
+    def report(self, include_metrics: bool = True) -> ServiceReport:
+        """Typed snapshot of everything the service can tell you.
+
+        Merges the historical ``stats()`` counters, the quarantine /
+        fault-tolerance accounting, and (unless ``include_metrics`` is
+        false) the full observability snapshot previously returned by
+        ``metrics_snapshot()``.
         """
-        return self.metrics.to_dict()
-
-    def stats(self) -> Dict[str, Any]:
-        """Service-level counters for dashboards and tests."""
-        return {
-            "steps": self._steps,
-            "logs_archived": self.log_storage.count(),
-            "anomalies": self.anomaly_storage.count(),
-            "open_events": self.open_event_count(),
-            "parse_batches": self.parse_ctx.metrics.batches,
-            "sequence_batches": self.seq_ctx.metrics.batches,
-            "model_updates": (
+        return ServiceReport(
+            steps=self._steps,
+            logs_archived=self.log_storage.count(),
+            anomalies=self.anomaly_storage.count(),
+            open_events=self.open_event_count(),
+            parse_batches=self.parse_ctx.metrics.batches,
+            sequence_batches=self.seq_ctx.metrics.batches,
+            model_updates=(
                 self.parse_ctx.metrics.model_updates
                 + self.seq_ctx.metrics.model_updates
             ),
-            "downtime_seconds": (
+            downtime_seconds=(
                 self.parse_ctx.metrics.downtime_seconds
                 + self.seq_ctx.metrics.downtime_seconds
             ),
-        }
+            quarantine=QuarantineReport(
+                retries=self.retries_total(),
+                quarantined=self.quarantined_total(),
+                dead_letter_depth=self.dead_letter_depth(),
+                dead_letter_origins=self.bus.dead_letter_topics(),
+            ),
+            metrics=self.metrics.to_dict() if include_metrics else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Deprecated aliases (pre-report() surface)
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Deprecated: use :meth:`report` (``report().metrics``)."""
+        warnings.warn(
+            "LogLensService.metrics_snapshot() is deprecated; use "
+            "report().metrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.metrics.to_dict()
+
+    def stats(self) -> Dict[str, Any]:
+        """Deprecated: use :meth:`report` (``report().counters()``)."""
+        warnings.warn(
+            "LogLensService.stats() is deprecated; use "
+            "report().counters()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.report(include_metrics=False).counters()

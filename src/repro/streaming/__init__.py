@@ -11,9 +11,11 @@ partitioning (:mod:`repro.streaming.partitioner`).
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
 from .engine import (
     BatchMetrics,
+    CollectedRecords,
     Collector,
     DStream,
     EngineMetrics,
+    QuarantineStore,
     StreamingContext,
     WorkerContext,
 )
@@ -23,6 +25,7 @@ from .partitioner import (
     partition_records,
 )
 from .records import StreamRecord, heartbeat_record
+from .retry import QuarantinedRecord, RetryPolicy
 from .state import StateMap
 
 __all__ = [
@@ -30,9 +33,13 @@ __all__ = [
     "BroadcastManager",
     "BroadcastVariable",
     "BatchMetrics",
+    "CollectedRecords",
     "Collector",
     "DStream",
     "EngineMetrics",
+    "QuarantineStore",
+    "QuarantinedRecord",
+    "RetryPolicy",
     "StreamingContext",
     "WorkerContext",
     "HashPartitioner",

@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..errors import BroadcastError
+
 __all__ = ["BlockManager", "BroadcastVariable", "BroadcastManager"]
 
 
@@ -108,6 +110,11 @@ class BroadcastManager:
         self.pulls = 0
         #: Number of rebroadcast operations applied.
         self.rebroadcasts_applied = 0
+        #: Optional :class:`~repro.faults.FaultPlan`; when set, worker
+        #: pulls run through its ``broadcast.pull`` site so chaos tests
+        #: can make fetches flaky (the engine's retry policy heals the
+        #: resulting operator failures).
+        self.fault_plan: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def register_worker(self, block_manager: BlockManager) -> None:
@@ -146,7 +153,7 @@ class BroadcastManager:
             while self._pending:
                 bv_id, value = self._pending.popleft()
                 if bv_id not in self._values:
-                    raise KeyError("unknown broadcast id %d" % bv_id)
+                    raise BroadcastError(bv_id)
                 self._values[bv_id] = value
                 self._versions[bv_id] += 1
                 for worker in self._workers:
@@ -163,8 +170,18 @@ class BroadcastManager:
     # ------------------------------------------------------------------
     def pull(self, bv_id: int) -> Any:
         """Serve a worker pull request for the current value."""
+        plan = self.fault_plan
+        if plan is not None:
+            return plan.invoke(
+                "broadcast.pull", self._pull, bv_id, subject=bv_id
+            )
+        return self._pull(bv_id)
+
+    def _pull(self, bv_id: int) -> Any:
         with self._lock:
             self.pulls += 1
+            if bv_id not in self._values:
+                raise BroadcastError(bv_id)
             return self._values[bv_id]
 
     def driver_value(self, bv_id: int) -> Any:

@@ -19,6 +19,18 @@ The two LogLens-specific enhancements are wired into the scheduler:
 The operator graph supports branching (one node, several children), which
 the LogLens pipeline uses to split parser output into the anomaly sink and
 the sequence-detector stage.
+
+**Fault tolerance** (the always-on requirement, Section V): every
+operator invocation can run under a
+:class:`~repro.streaming.retry.RetryPolicy` — transient failures
+re-execute with exponential backoff (deterministic jitter hook,
+injectable clock), and records that still fail are *quarantined*:
+wrapped as :class:`~repro.streaming.retry.QuarantinedRecord` with
+failure metadata, stored on the context, and routed to an optional
+dead-letter sink.  The batch always completes; sibling branches and
+other records are unaffected.  A
+:class:`~repro.faults.FaultPlan` may be installed to inject failures at
+every operator site and at broadcast pulls (see ``docs/FAULT_TOLERANCE.md``).
 """
 
 from __future__ import annotations
@@ -27,18 +39,31 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
-from ..obs import MetricsRegistry, get_registry
+from ..errors import OperatorError, PartitioningError, QuarantinedRecordError
+from ..obs import Counter, MetricsRegistry, get_registry
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
 from .partitioner import HashPartitioner, HeartbeatAwarePartitioner, partition_records
 from .records import StreamRecord
+from .retry import QuarantinedRecord, RetryPolicy
 from .state import StateMap
 
 __all__ = [
     "WorkerContext",
     "DStream",
     "Collector",
+    "CollectedRecords",
+    "QuarantineStore",
     "BatchMetrics",
     "EngineMetrics",
     "StreamingContext",
@@ -109,6 +134,76 @@ class Collector:
         with self._lock:
             return len(self._records)
 
+    def view(self) -> "CollectedRecords":
+        """A read-only, always-consistent sequence view of this sink."""
+        return CollectedRecords(self)
+
+
+class CollectedRecords(Sequence):
+    """Read-only sequence over a :class:`Collector`.
+
+    Every access (``len``, iteration, indexing, slicing) reads a
+    consistent snapshot taken under the collector's lock, so no caller
+    ever holds the live mutable list that parallel workers append to.
+    """
+
+    __slots__ = ("_collector",)
+
+    def __init__(self, collector: Collector) -> None:
+        self._collector = collector
+
+    def __len__(self) -> int:
+        return len(self._collector)
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._collector.snapshot()[index]
+
+    def __iter__(self) -> Iterator[StreamRecord]:
+        return iter(self._collector.snapshot())
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, CollectedRecords):
+            other = other._collector.snapshot()
+        if isinstance(other, (list, tuple)):
+            return self._collector.snapshot() == list(other)
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mutable view; equality is by current contents
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CollectedRecords(%r)" % (self._collector.snapshot(),)
+
+
+class QuarantineStore:
+    """Thread-safe store of records quarantined during batches."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[QuarantinedRecord] = []
+
+    def add(self, record: QuarantinedRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def snapshot(self) -> List[QuarantinedRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[QuarantinedRecord]:
+        """Return everything quarantined so far and empty the store."""
+        with self._lock:
+            out = self._records
+            self._records = []
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
 
 class DStream:
     """A (discretised) stream: a node in the operator graph.
@@ -162,18 +257,25 @@ class DStream:
         """Terminal side-effecting consumer."""
         return self._attach("sink", fn)
 
-    def collect(self) -> List[StreamRecord]:
-        """Terminal sink into a list; returns the (live) list object.
+    def collect(self) -> "CollectedRecords":
+        """Terminal sink; returns a read-only snapshot-backed view.
 
-        Appends are locked, but iterating the returned list while a
-        ``parallel=True`` batch is mid-flight can tear; between batches
-        the list is stable.  Prefer :meth:`collector` when readers and
-        batches may overlap — its ``snapshot()`` is always consistent.
+        .. deprecated::
+            Prefer :meth:`collector`, the documented terminal API: its
+            ``snapshot()``/``drain()`` make the copy semantics explicit.
+            ``collect`` remains for convenience but now returns a
+            :class:`CollectedRecords` view — every read is a consistent
+            snapshot, and no public path hands back the live mutable
+            list that parallel workers append to.
         """
-        return self.collector()._records
+        return self.collector().view()
 
     def collector(self) -> Collector:
-        """Terminal sink into a :class:`Collector` (snapshot semantics)."""
+        """Terminal sink into a :class:`Collector` (snapshot semantics).
+
+        This is the documented terminal API: read results with
+        ``snapshot()`` (consistent copy) or ``drain()`` (copy + clear).
+        """
         collector = Collector()
         self._attach("sink", collector.append)
         return collector
@@ -187,6 +289,10 @@ class BatchMetrics:
     records_in: int
     model_updates_applied: int
     duration_seconds: float
+    #: Operator re-executions performed during this batch.
+    retries: int = 0
+    #: Records that exhausted retries and were quarantined this batch.
+    quarantined: int = 0
 
 
 @dataclass
@@ -201,6 +307,8 @@ class EngineMetrics:
     records: int = 0
     model_updates: int = 0
     downtime_seconds: float = 0.0
+    retries: int = 0
+    quarantined: int = 0
     history_limit: int = 1000
     batch_history: List[BatchMetrics] = field(default_factory=list)
 
@@ -223,6 +331,19 @@ class StreamingContext:
         Execute partitions on a thread pool.  Off by default: the
         single-process simulator is faster and fully deterministic without
         threads, while the code paths stay identical.
+    retry_policy:
+        Re-execute failing operator calls per this policy; records that
+        exhaust it are quarantined instead of aborting the batch.  With
+        the default ``None`` (and no ``dead_letter`` sink) operator
+        exceptions propagate as before.
+    dead_letter:
+        Callable receiving each :class:`QuarantinedRecord` (the service
+        wires this to the bus's dead-letter topic).  Providing a sink
+        without a policy enables quarantine with zero retries.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; installs injection
+        sites at every operator invocation (``operator:<kind>:<id>``)
+        and at broadcast pulls (``broadcast.pull``).
     """
 
     def __init__(
@@ -231,6 +352,9 @@ class StreamingContext:
         partitioner: Optional[HashPartitioner] = None,
         parallel: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        dead_letter: Optional[Callable[[QuarantinedRecord], None]] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -259,11 +383,42 @@ class StreamingContext:
             self.obs.counter("engine.partition_records", partition=str(i))
             for i in range(num_partitions)
         ]
+        # Fault-tolerance plane.  Per-context exact counters chain to the
+        # registry family (the established stats-façade pattern), so
+        # `ctx.retries_total` stays correct even when several contexts
+        # share one registry (the service runs two).
+        if retry_policy is None and dead_letter is not None:
+            retry_policy = RetryPolicy.no_wait(max_attempts=1)
+        self.retry_policy = retry_policy
+        self._dead_letter = dead_letter
+        self._fault_plan = fault_plan
+        if fault_plan is not None:
+            self.broadcast_manager.fault_plan = fault_plan
+        self.quarantine = QuarantineStore()
+        self._retries = Counter(
+            parent=self.obs.counter("engine.retries_total")
+        )
+        self._quarantined = Counter(
+            parent=self.obs.counter("engine.quarantined_total")
+        )
+        self._retry_backoff_seconds = self.obs.histogram(
+            "engine.retry_backoff_seconds"
+        )
         self._pool = (
             ThreadPoolExecutor(max_workers=num_partitions)
             if parallel
             else None
         )
+
+    @property
+    def retries_total(self) -> int:
+        """Operator re-executions performed by this context."""
+        return self._retries.value
+
+    @property
+    def quarantined_total(self) -> int:
+        """Records quarantined by this context."""
+        return self._quarantined.value
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -295,6 +450,8 @@ class StreamingContext:
     def run_batch(self, records: Sequence[StreamRecord]) -> BatchMetrics:
         """Execute one micro-batch over all registered streams."""
         started = time.perf_counter()
+        retries_before = self._retries.value
+        quarantined_before = self._quarantined.value
         # Serialised lock step between batches: drain model updates with
         # zero downtime (the stream is simply between two batches).
         with self._rebroadcast_seconds.time():
@@ -304,7 +461,7 @@ class StreamingContext:
             # zip() would silently drop trailing buckets (lost records)
             # or starve trailing workers; a partitioner that disagrees
             # with the context about the partition count is a bug.
-            raise ValueError(
+            raise PartitioningError(
                 "partitioner produced %d buckets for %d partitions; "
                 "partitioner.num_partitions must match the context"
                 % (len(buckets), len(self.workers))
@@ -324,14 +481,21 @@ class StreamingContext:
         elapsed = time.perf_counter() - started
         self._batch_seconds.observe(elapsed)
         self._records_in.inc(len(records))
+        # run_batch is driver-serialised, so counter deltas are exact.
+        batch_retries = self._retries.value - retries_before
+        batch_quarantined = self._quarantined.value - quarantined_before
         self.metrics.batches += 1
         self.metrics.records += len(records)
         self.metrics.model_updates += updates
+        self.metrics.retries += batch_retries
+        self.metrics.quarantined += batch_quarantined
         batch = BatchMetrics(
             batch_index=self.metrics.batches - 1,
             records_in=len(records),
             model_updates_applied=updates,
             duration_seconds=elapsed,
+            retries=batch_retries,
+            quarantined=batch_quarantined,
         )
         self.metrics.record_batch(batch)
         return batch
@@ -357,22 +521,126 @@ class StreamingContext:
     def _apply(
         self, node: _Node, record: StreamRecord, worker: WorkerContext
     ) -> None:
-        kind = node.kind
-        if kind == "map":
-            out = node.fn(record, worker)
-            outputs = [] if out is None else [out]
-        elif kind == "flat_map":
-            outputs = list(node.fn(record, worker))
-        elif kind == "filter":
-            outputs = [record] if node.fn(record) else []
-        elif kind == "map_with_state":
-            state = worker.state_for(node.node_id)
-            outputs = list(node.fn(record, state, worker))
-        elif kind == "sink":
-            node.fn(record)
+        outputs = self._invoke(node, record, worker)
+        if outputs is _QUARANTINED:
             return
-        else:  # pragma: no cover - graph construction prevents this
-            raise RuntimeError("unknown operator kind %r" % kind)
         for out in outputs:
             for child in node.children:
                 self._apply(child, out, worker)
+
+    def _call_operator(
+        self, node: _Node, record: StreamRecord, worker: WorkerContext
+    ) -> List[StreamRecord]:
+        """Run one operator over one record; returns its outputs."""
+        kind = node.kind
+        if kind == "map":
+            out = node.fn(record, worker)
+            return [] if out is None else [out]
+        if kind == "flat_map":
+            return list(node.fn(record, worker))
+        if kind == "filter":
+            return [record] if node.fn(record) else []
+        if kind == "map_with_state":
+            state = worker.state_for(node.node_id)
+            return list(node.fn(record, state, worker))
+        if kind == "sink":
+            node.fn(record)
+            return []
+        # pragma: no cover - graph construction prevents this
+        raise RuntimeError("unknown operator kind %r" % kind)
+
+    def _invoke(
+        self, node: _Node, record: StreamRecord, worker: WorkerContext
+    ) -> Any:
+        """One operator invocation under fault injection and retries.
+
+        Returns the operator's outputs, or the ``_QUARANTINED`` sentinel
+        when the record exhausted its retry budget (the failing node's
+        subtree is skipped; sibling branches and other records proceed).
+        """
+        plan = self._fault_plan
+        policy = self.retry_policy
+        site = "operator:%s:%d" % (node.kind, node.node_id)
+        if policy is None:
+            # Legacy fail-fast path: exceptions abort the batch.
+            if plan is None:
+                return self._call_operator(node, record, worker)
+            return plan.invoke(
+                site, self._call_operator, node, record, worker,
+                subject=record,
+            )
+        clock = policy.clock
+        attempt = 0
+        while True:
+            attempt += 1
+            attempt_started = clock.monotonic()
+            try:
+                if plan is not None:
+                    outputs = plan.invoke(
+                        site, self._call_operator, node, record, worker,
+                        subject=record,
+                    )
+                else:
+                    outputs = self._call_operator(node, record, worker)
+                timeout = policy.per_attempt_timeout_seconds
+                if timeout is not None:
+                    attempt_seconds = clock.monotonic() - attempt_started
+                    if attempt_seconds > timeout:
+                        raise OperatorError(
+                            "attempt %d took %.6fs, over the %.6fs "
+                            "per-attempt budget"
+                            % (attempt, attempt_seconds, timeout),
+                            node_id=node.node_id,
+                            kind=node.kind,
+                            partition_id=worker.partition_id,
+                            attempts=attempt,
+                        )
+                return outputs
+            except policy.retryable as exc:
+                if attempt >= policy.max_attempts:
+                    return self._exhausted(node, record, worker,
+                                           attempt, exc)
+                self._retries.inc()
+                delay = policy.delay_for(attempt)
+                self._retry_backoff_seconds.observe(delay)
+                if delay > 0:
+                    clock.sleep(delay)
+
+    def _exhausted(
+        self,
+        node: _Node,
+        record: StreamRecord,
+        worker: WorkerContext,
+        attempts: int,
+        exc: BaseException,
+    ) -> Any:
+        """Retry budget spent: quarantine the record (or fail fast)."""
+        if self.retry_policy.on_exhaust == "raise":
+            raise QuarantinedRecordError(
+                "record failed %d attempt(s) at operator %s#%d: %s"
+                % (attempts, node.kind, node.node_id, exc),
+                record=record,
+                node_id=node.node_id,
+                kind=node.kind,
+                partition_id=worker.partition_id,
+                attempts=attempts,
+            ) from exc
+        quarantined = QuarantinedRecord(
+            record=record,
+            error=str(exc) or repr(exc),
+            error_type=type(exc).__name__,
+            node_id=node.node_id,
+            kind=node.kind,
+            partition_id=worker.partition_id,
+            attempts=attempts,
+        )
+        self._quarantined.inc()
+        self.quarantine.add(quarantined)
+        if self._dead_letter is not None:
+            self._dead_letter(quarantined)
+        return _QUARANTINED
+
+
+#: Sentinel distinguishing "operator quarantined the record" from an
+#: empty output list (which still propagates nothing but is a success).
+_QUARANTINED = object()

@@ -150,6 +150,67 @@ class TestWatch:
         assert capsys.readouterr().out.strip() == ""
 
 
+class TestChaos:
+    def test_transient_faults_healed_exit_zero(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call c-1 from 10.0.0.8\n"
+            "2016/05/09 17:00:04 gate call c-1 CLOSED rc 2222222\n"
+        )
+        assert main(["chaos", str(stream), "-m", str(model_file)]) == 0
+        captured = capsys.readouterr()
+        assert "2 ingested" in captured.out
+        assert "2 retries" in captured.out
+        assert "0 quarantined" in captured.out
+        assert "OK: all 2 records accounted for" in captured.err
+
+    def test_poison_line_dead_lettered_with_metadata(
+        self, tmp_path, model_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call c-2 from 10.0.0.8\n"
+            "POISONLINE never processable\n"
+            "2016/05/09 17:00:04 gate call c-2 CLOSED rc 3333333\n"
+        )
+        assert main(
+            ["chaos", str(stream), "-m", str(model_file),
+             "--poison", "POISONLINE", "--fail-first", "0", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ingested"] == 3
+        assert doc["parsed"] == 2
+        assert doc["quarantined"] == 1
+        assert doc["lost"] == 0
+        (envelope,) = doc["dead_letters"]
+        assert envelope["value"]["raw"] == "POISONLINE never processable"
+        assert envelope["metadata"]["error_type"] == "FaultInjected"
+        assert envelope["metadata"]["attempts"] == 3
+
+    def test_train_in_process_and_flaky_broadcast(
+        self, tmp_path, training_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call c-3 from 10.0.0.8\n"
+            "2016/05/09 17:00:04 gate call c-3 CLOSED rc 4444444\n"
+        )
+        assert main(
+            ["chaos", str(stream), "--train", str(training_file),
+             "--fail-first", "0", "--flaky-broadcast", "1", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["retries"] == 1  # the flaky fetch healed on retry
+        assert doc["lost"] == 0
+
+    def test_requires_model_or_training(self, tmp_path, capsys):
+        stream = tmp_path / "stream.log"
+        stream.write_text("anything\n")
+        assert main(["chaos", str(stream)]) == 2
+
+
 class TestQuality:
     def test_quality_full_coverage_exit_zero(
         self, tmp_path, training_file, model_file, capsys

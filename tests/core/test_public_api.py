@@ -11,6 +11,10 @@ _EXPECTED = {
         "PatternModel", "TimestampDetector", "Tokenizer", "Automaton",
         "IdFieldDiscovery", "LogSequenceDetector", "SequenceModel",
         "SequenceModelLearner", "LogLensService", "ModelBuilder",
+        "ServiceReport", "LogLensError", "OperatorError",
+        "QuarantinedRecordError", "TopicNotFoundError", "BroadcastError",
+        "PartitioningError", "FaultInjected", "FaultPlan", "ManualClock",
+        "SystemClock", "QuarantinedRecord", "RetryPolicy",
         "__version__",
     ],
     "repro.core": [
@@ -42,6 +46,8 @@ _EXPECTED = {
         "heartbeat_record", "BroadcastManager", "BroadcastVariable",
         "BlockManager", "HashPartitioner", "HeartbeatAwarePartitioner",
         "StateMap", "EngineMetrics", "BatchMetrics",
+        "CollectedRecords", "QuarantineStore", "QuarantinedRecord",
+        "RetryPolicy",
     ],
     "repro.obs": [
         "Counter", "Gauge", "Histogram", "MetricsRegistry", "timed",
@@ -55,7 +61,8 @@ _EXPECTED = {
         "ModelBuilder", "ModelManager", "ModelController",
         "Dashboard", "AdHocQuery", "SimulatedScheduler",
         "RelearnAutomation", "replay", "compare_models",
-        "ModelComparison", "ReplayOutcome",
+        "ModelComparison", "ReplayOutcome", "ServiceReport",
+        "QuarantineReport", "StepReport", "dead_letter_topic",
     ],
     "repro.baselines": [
         "NaiveGrokParser", "LinearScanTimestampDetector",
@@ -88,7 +95,7 @@ def test_cli_entry_point():
     commands = parser._subparsers._group_actions[0].choices
     assert set(commands) == {
         "train", "detect", "inspect", "parse", "watch", "quality",
-        "metrics",
+        "metrics", "chaos",
     }
 
 

@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import threading
+
+import pytest
+
+from repro.faults import FaultInjected, FaultPlan, ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock.monotonic() == 0.0
+        clock.advance(1.5)
+        assert clock.monotonic() == 1.5
+
+    def test_sleep_advances_and_records(self):
+        clock = ManualClock()
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock.monotonic() == 0.75
+        assert clock.sleeps == [0.25, 0.5]
+        assert clock.total_slept == 0.75
+
+    def test_advance_does_not_record_a_sleep(self):
+        clock = ManualClock()
+        clock.advance(3.0)
+        assert clock.sleeps == []
+        assert clock.total_slept == 0.0
+
+    def test_system_clock_monotonic_moves_forward(self):
+        clock = SystemClock()
+        a = clock.monotonic()
+        b = clock.monotonic()
+        assert b >= a
+
+
+class TestFaultPlanSchedules:
+    def test_fail_first_heals_after_n_calls(self):
+        plan = FaultPlan().fail_first("site", 2)
+        results = []
+        for _ in range(4):
+            try:
+                results.append(plan.invoke("site", lambda: "ok"))
+            except FaultInjected:
+                results.append("boom")
+        assert results == ["boom", "boom", "ok", "ok"]
+        assert plan.injected_total() == 2
+        assert plan.call_count("site") == 4
+
+    def test_fail_nth_fires_on_exact_ordinals(self):
+        plan = FaultPlan().fail_nth("site", 1, 3)
+        outcomes = []
+        for _ in range(4):
+            try:
+                plan.invoke("site", lambda: None)
+                outcomes.append("ok")
+            except FaultInjected:
+                outcomes.append("boom")
+        assert outcomes == ["boom", "ok", "boom", "ok"]
+
+    def test_poison_fires_on_every_matching_subject(self):
+        plan = FaultPlan().poison("site", lambda s: s == "bad")
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                plan.invoke("site", lambda: None, subject="bad")
+        assert plan.invoke("site", lambda: "fine", subject="good") == "fine"
+        assert plan.injected_total() == 3
+
+    def test_site_patterns_use_fnmatch(self):
+        plan = FaultPlan().fail_first("operator:flat_map:*", 1)
+        with pytest.raises(FaultInjected):
+            plan.invoke("operator:flat_map:7", lambda: None)
+        # A different operator kind is untouched.
+        assert plan.invoke("operator:map:7", lambda: 1) == 1
+
+    def test_custom_exception_factory(self):
+        plan = FaultPlan().fail_first(
+            "site", 1, exc=lambda: RuntimeError("custom")
+        )
+        with pytest.raises(RuntimeError, match="custom"):
+            plan.invoke("site", lambda: None)
+
+    def test_flaky_broadcast_fetch_targets_pull_site(self):
+        plan = FaultPlan().flaky_broadcast_fetch(1)
+        with pytest.raises(FaultInjected):
+            plan.invoke("broadcast.pull", lambda: None)
+        assert plan.invoke("broadcast.pull", lambda: "v") == "v"
+
+
+class TestSlowCalls:
+    def test_slow_first_advances_clock_without_sleeping(self):
+        plan = FaultPlan().slow_first("site", 1, seconds=9.0)
+        assert plan.invoke("site", lambda: "done") == "done"
+        assert plan.clock.monotonic() == 9.0
+        assert plan.clock.sleeps == []  # advanced, never slept
+        assert plan.invoke("site", lambda: "fast") == "fast"
+        assert plan.clock.monotonic() == 9.0
+
+    def test_slow_nth_targets_specific_calls(self):
+        plan = FaultPlan().slow_nth("site", 2, seconds=1.0)
+        plan.invoke("site", lambda: None)
+        assert plan.clock.monotonic() == 0.0
+        plan.invoke("site", lambda: None)
+        assert plan.clock.monotonic() == 1.0
+
+    def test_shared_clock_is_used(self):
+        clock = ManualClock()
+        plan = FaultPlan(clock=clock).slow_first("site", 1, seconds=2.0)
+        plan.invoke("site", lambda: None)
+        assert clock.monotonic() == 2.0
+
+
+class TestIntrospection:
+    def test_snapshot_is_json_safe_and_counts(self):
+        import json
+
+        plan = FaultPlan().fail_first("a", 1).slow_first("b", 1, seconds=1)
+        try:
+            plan.invoke("a", lambda: None)
+        except FaultInjected:
+            pass
+        plan.invoke("b", lambda: None)
+        doc = plan.snapshot()
+        json.dumps(doc)
+        assert doc["sites"] == {"a": 1, "b": 1}
+        assert [r["triggered"] for r in doc["rules"]] == [1, 1]
+
+    def test_counters_are_exact_under_threads(self):
+        plan = FaultPlan().fail_first("site", 10)
+        errors = []
+
+        def worker():
+            for _ in range(25):
+                try:
+                    plan.invoke("site", lambda: None)
+                except FaultInjected:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 10  # exactly the scheduled failures
+        assert plan.call_count("site") == 100
