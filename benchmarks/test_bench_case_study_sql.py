@@ -11,8 +11,6 @@ man-hour-reduction factor at the paper's one-week manual baseline.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
@@ -53,11 +51,17 @@ def test_discovered_patterns_parse_the_corpus(sql_corpus):
 
 
 def test_case_study_summary(sql_corpus):
+    from repro.bench import measure
+
     tokenizer = Tokenizer()
-    start = time.perf_counter()
-    tokenized = tokenizer.tokenize_many(sql_corpus.train)
-    patterns = PatternDiscoverer().discover(tokenized)
-    elapsed = time.perf_counter() - start
+    found = {}
+
+    def run():
+        tokenized = tokenizer.tokenize_many(sql_corpus.train)
+        found["patterns"] = PatternDiscoverer().discover(tokenized)
+
+    elapsed = measure(run, repeats=1, warmup=0).median
+    patterns = found["patterns"]
     manual_seconds = 7 * 24 * 3600  # the paper's one-week manual effort
     reduction = manual_seconds / max(elapsed, 1e-9)
     report(

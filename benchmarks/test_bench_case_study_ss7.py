@@ -13,8 +13,6 @@ exact at ~20x reduced traffic volume.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
@@ -78,9 +76,17 @@ def test_attack_sequences_lack_update_location(ss7, ss7_lens):
 
 
 def test_case_study_summary(ss7, ss7_lens):
-    start = time.perf_counter()
-    anomalies = ss7_lens.detect(ss7.test, flush_open_events=True)
-    elapsed = time.perf_counter() - start
+    from repro.bench import measure
+
+    found = {}
+
+    def run():
+        found["anomalies"] = ss7_lens.detect(
+            ss7.test, flush_open_events=True
+        )
+
+    elapsed = measure(run, repeats=1, warmup=0).median
+    anomalies = found["anomalies"]
     manual_seconds = 2 * 24 * 3600  # the experts' 2-day investigation
     report(
         "Section VII-B — SS7 spoofing case study",

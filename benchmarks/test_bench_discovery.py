@@ -10,8 +10,6 @@ equivalent pattern set.  This bench quantifies that design choice
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
@@ -63,14 +61,21 @@ def test_modes_learn_equivalent_models():
 
 
 def test_discovery_summary():
+    from repro.bench import measure
+
     logs = _tokenized()
     times = {}
     counts = {}
     for bucketed in (True, False):
-        start = time.perf_counter()
-        patterns = PatternDiscoverer(bucketed=bucketed).discover(logs)
-        times[bucketed] = time.perf_counter() - start
-        counts[bucketed] = len(patterns)
+        found = {}
+
+        def run(bucketed=bucketed, found=found):
+            found["patterns"] = PatternDiscoverer(
+                bucketed=bucketed
+            ).discover(logs)
+
+        times[bucketed] = measure(run, repeats=1, warmup=0).median
+        counts[bucketed] = len(found["patterns"])
     report(
         "Discovery ablation — bucketed vs one-pass clustering",
         {

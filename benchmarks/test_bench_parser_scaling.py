@@ -10,12 +10,11 @@ model and the preprocessing front-end.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
 from repro.baselines.logstash import NaiveGrokParser
+from repro.bench import measure
 from repro.datasets.corpora import _NETWORK_VOCAB, generate_corpus
 from repro.parsing.logmine import PatternDiscoverer
 from repro.parsing.parser import FastLogParser, PatternModel
@@ -72,15 +71,15 @@ def test_scaling_summary():
     for m in _SWEEP:
         lines, model = _setup(m)
         fast = FastLogParser(model, tokenizer=Tokenizer())
-        fast.parse_all(lines)  # warm
-        start = time.perf_counter()
-        fast.parse_all(lines)
-        fast_time = time.perf_counter() - start
+        # warmup=1 warms the signature index before the timed repeat.
+        fast_time = measure(
+            lambda: fast.parse_all(lines), repeats=1, warmup=1
+        ).median
         naive = NaiveGrokParser(model, tokenizer=Tokenizer())
         sub = lines[: len(lines) // 4]
-        start = time.perf_counter()
-        naive.parse_all(sub)
-        naive_time = (time.perf_counter() - start) * 4
+        naive_time = measure(
+            lambda: naive.parse_all(sub), repeats=1, warmup=0
+        ).median * 4
         speedup = naive_time / fast_time
         speedups.append(speedup)
         rows["m=%d" % len(model)] = (

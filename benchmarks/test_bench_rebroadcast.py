@@ -83,7 +83,7 @@ def test_swap_cost_scales_with_model_size(benchmark, n_patterns):
 
 
 def test_update_overhead_summary():
-    import time
+    from repro.bench import measure
 
     ctx = StreamingContext(num_partitions=4)
     model = _make_model(500)
@@ -92,18 +92,16 @@ def test_update_overhead_summary():
         lambda r, w: (bv.get_value(w.block_manager), None)[1]
     )
     records = _batch(2000)
-    ctx.run_batch(records)  # warm
 
-    start = time.perf_counter()
-    for _ in range(10):
-        ctx.run_batch(records)
-    plain = (time.perf_counter() - start) / 10
+    plain = measure(
+        lambda: ctx.run_batch(records), repeats=10, warmup=1
+    ).median
 
-    start = time.perf_counter()
-    for _ in range(10):
+    def swap_and_run():
         ctx.rebroadcast(bv, model)
         ctx.run_batch(records)
-    with_update = (time.perf_counter() - start) / 10
+
+    with_update = measure(swap_and_run, repeats=10, warmup=0).median
 
     overhead = (with_update - plain) / plain * 100 if plain else 0.0
     report(

@@ -9,11 +9,10 @@ and that heartbeats and anomalies don't stall the pipeline.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
+from repro.bench import measure
 from repro.core.pipeline import LogLens
 from repro.datasets.trace import generate_d1
 
@@ -46,12 +45,12 @@ def test_throughput_summary():
     dataset, lens = _setup()
     service = lens.to_service()
     service.ingest(dataset.test, source="bench")
-    start = time.perf_counter()
-    service.run_until_drained()
-    elapsed = time.perf_counter() - start
+    elapsed = measure(
+        service.run_until_drained, repeats=1, warmup=0
+    ).median
     service.final_flush()
     rate = len(dataset.test) / elapsed
-    stats = service.stats()
+    svc_report = service.report(include_metrics=False)
     report(
         "Service throughput — full pipeline",
         {
@@ -59,9 +58,9 @@ def test_throughput_summary():
             "wall time": "%.2f s" % elapsed,
             "throughput": "%.0f logs/s" % rate,
             "batches": "%d parse + %d sequence"
-            % (stats["parse_batches"], stats["sequence_batches"]),
-            "anomalies": "%d" % stats["anomalies"],
-            "downtime": "%.1f s" % stats["downtime_seconds"],
+            % (svc_report.parse_batches, svc_report.sequence_batches),
+            "anomalies": "%d" % svc_report.anomalies,
+            "downtime": "%.1f s" % svc_report.downtime_seconds,
         },
     )
     assert rate > 500  # the simulator must sustain real-time log rates

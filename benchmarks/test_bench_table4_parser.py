@@ -21,12 +21,11 @@ is linear in m).
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from conftest import report
 from repro.baselines.logstash import NaiveGrokParser
+from repro.bench import measure
 from repro.datasets.corpora import (
     generate_d3,
     generate_d4,
@@ -114,18 +113,16 @@ def test_table4_summary():
     for name in ("D3", "D4", "D5", "D6"):
         dataset, model = _model_for(name)
         fast = FastLogParser(model, tokenizer=Tokenizer())
-        start = time.perf_counter()
-        fast.parse_all(dataset.test)
-        fast_time = time.perf_counter() - start
+        fast_time = measure(
+            lambda: fast.parse_all(dataset.test), repeats=1, warmup=0
+        ).median
         # Extrapolate the naive parser from a subsample: its per-log cost
         # is volume-independent.
         sub = dataset.test[: max(1, len(dataset.test) // 10)]
         naive = NaiveGrokParser(model, tokenizer=Tokenizer())
-        start = time.perf_counter()
-        naive.parse_all(sub)
-        naive_time = (time.perf_counter() - start) * len(
-            dataset.test
-        ) / len(sub)
+        naive_time = measure(
+            lambda: naive.parse_all(sub), repeats=1, warmup=0
+        ).median * len(dataset.test) / len(sub)
         patterns, paper = _PAPER[name]
         rows[name] = (
             "patterns=%d (paper %d) loglens=%.1fs naive~%.1fs "

@@ -89,16 +89,18 @@ def test_mixed_workload(benchmark, mixed_lines, config):
 
 def test_speedup_summary(mixed_lines):
     """Non-benchmark summary: measured ratios vs. the paper's claims."""
-    import time
+    from repro.bench import measure
 
     samples = _timestamp_heavy_workload()
     times = {}
     for name, factory in _CONFIGS.items():
         detector = factory()
-        start = time.perf_counter()
-        for tokens in samples:
-            detector.identify(tokens, 0)
-        times[name] = time.perf_counter() - start
+
+        def run(detector=detector):
+            for tokens in samples:
+                detector.identify(tokens, 0)
+
+        times[name] = measure(run, repeats=1, warmup=0).median
     base = times["linear_scan"]
     report(
         "Section VI-A timestamp identification (timestamp-heavy)",

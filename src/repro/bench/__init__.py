@@ -1,0 +1,70 @@
+"""Deterministic performance benchmarks for the LogLens reproduction.
+
+Three layers:
+
+* :mod:`repro.bench.harness` — the warmup + repeat measurement protocol
+  and the ``BENCH_<case>.json`` artifact schema;
+* :mod:`repro.bench.cases` — the named case catalog over the
+  paper-critical hot paths (parser vs. Logstash, index build/lookup,
+  end-to-end service throughput);
+* :mod:`repro.bench.compare` — tolerance-based regression verdicts
+  between two artifact sets (the CI gate).
+
+Run the suite with ``loglens bench`` (``--quick`` for the CI-sized
+workloads); see ``docs/BENCHMARKS.md``.
+"""
+
+from .compare import (
+    DEFAULT_TOLERANCE,
+    CaseVerdict,
+    CompareReport,
+    compare_case,
+    compare_dirs,
+    compare_results,
+    load_results,
+)
+from .cases import build_cases, case_names, derive_ratio, run_bench
+from .harness import (
+    SCHEMA_VERSION,
+    BenchCase,
+    CaseResult,
+    Measurement,
+    current_git_sha,
+    measure,
+    percentile,
+    run_case,
+    summarize,
+)
+from .workloads import (
+    ParserWorkload,
+    ServiceWorkload,
+    parser_workload,
+    service_workload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchCase",
+    "CaseResult",
+    "Measurement",
+    "measure",
+    "percentile",
+    "summarize",
+    "run_case",
+    "current_git_sha",
+    "build_cases",
+    "case_names",
+    "derive_ratio",
+    "run_bench",
+    "DEFAULT_TOLERANCE",
+    "CaseVerdict",
+    "CompareReport",
+    "compare_case",
+    "compare_results",
+    "compare_dirs",
+    "load_results",
+    "ParserWorkload",
+    "ServiceWorkload",
+    "parser_workload",
+    "service_workload",
+]

@@ -1,0 +1,361 @@
+"""The benchmark case catalog: the paper-critical hot paths, named.
+
+Primary cases (each emits one ``BENCH_<case>.json``):
+
+``tokenizer``
+    Preprocessing throughput: a *fresh* tokenizer (cold memo, detector
+    construction included) over the corpus — sensitive to token-object
+    cost and timestamp-format compilation caching.
+``parser_indexed``
+    :class:`~repro.parsing.parser.FastLogParser` steady-state
+    records/sec with a warm signature index (the LogLens engine of
+    Table IV).
+``parser_logstash``
+    The :class:`~repro.baselines.logstash.NaiveGrokParser` O(m·n)
+    baseline over a subsample of the same corpus.
+``index_build``
+    Cold :class:`~repro.parsing.index.PatternIndex` candidate-group
+    construction: one lookup per distinct log shape.
+``index_lookup``
+    Warm-index lookup latency over the full corpus.
+``service_throughput`` / ``service_metrics_off``
+    End-to-end :class:`~repro.service.loglens_service.LogLensService`
+    micro-batch replay of D1 with metrics enabled / with the no-op
+    :class:`~repro.obs.NullRegistry`.
+
+Derived cases (computed from primary samples, no extra timing):
+
+``parser_speedup``
+    Per-repeat ratio of per-record Logstash time to per-record indexed
+    time — the Table IV headline number; higher is better.
+``service_metrics_overhead``
+    Per-repeat ratio of metrics-on to metrics-off service time; the
+    observability tax, lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..baselines.logstash import NaiveGrokParser
+from ..obs import MetricsRegistry, NullRegistry
+from ..parsing.index import PatternIndex
+from ..parsing.parser import FastLogParser
+from ..parsing.tokenizer import Tokenizer
+from ..service.loglens_service import LogLensService
+from .harness import BenchCase, CaseResult, run_case, summarize
+from .workloads import parser_workload, service_workload
+
+__all__ = [
+    "QUICK_PARAMS",
+    "FULL_PARAMS",
+    "build_cases",
+    "derive_ratio",
+    "run_bench",
+    "case_names",
+]
+
+#: Workload sizes for the CI gate (seconds, not minutes).
+QUICK_PARAMS: Dict[str, Any] = {
+    "templates": 60,
+    "logs": 1200,
+    "logstash_logs": 300,
+    "events_per_workflow": 40,
+    "repeats": 3,
+    "warmup": 1,
+}
+
+#: Workload sizes for local before/after measurement.
+FULL_PARAMS: Dict[str, Any] = {
+    "templates": 200,
+    "logs": 6000,
+    "logstash_logs": 800,
+    "events_per_workflow": 160,
+    "repeats": 5,
+    "warmup": 2,
+}
+
+
+def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    templates = params["templates"]
+    logs = params["logs"]
+    logstash_logs = params["logstash_logs"]
+    workload_params = {"templates": templates, "logs": logs}
+
+    # One shared workload per suite run: discovery is expensive and the
+    # corpus is deterministic, so every parser-path case reuses it.
+    shared: Dict[str, Any] = {}
+
+    def load():
+        if "workload" not in shared:
+            shared["workload"] = parser_workload(templates, logs)
+        return shared["workload"]
+
+    def setup_tokenizer():
+        return load().lines
+
+    def run_tokenizer(lines):
+        tokenizer = Tokenizer(metrics=MetricsRegistry())
+        return tokenizer.tokenize_many(lines)
+
+    def setup_indexed():
+        w = load()
+        parser = FastLogParser(
+            w.model, tokenizer=Tokenizer(), metrics=MetricsRegistry()
+        )
+        parser.parse_all(w.lines[: min(64, len(w.lines))])  # warm index
+        return (parser, w.lines)
+
+    def run_indexed(state):
+        parser, lines = state
+        return parser.parse_all(lines)
+
+    def check_indexed(state, result):
+        anomalies = sum(1 for r in result if not hasattr(r, "fields"))
+        if anomalies:
+            raise AssertionError(
+                "parser_indexed: %d unparsed logs on a train==test corpus"
+                % anomalies
+            )
+
+    def setup_logstash():
+        w = load()
+        return (NaiveGrokParser(w.model), w.lines[:logstash_logs])
+
+    def run_logstash(state):
+        parser, lines = state
+        return parser.parse_all(lines)
+
+    def setup_index_build():
+        w = load()
+        return (w.model, w.unique_shapes)
+
+    def run_index_build(state):
+        model, shapes = state
+        index = PatternIndex(
+            model.patterns, model.registry, metrics=MetricsRegistry()
+        )
+        for tlog in shapes:
+            index.lookup(tlog)
+        return index
+
+    def setup_index_lookup():
+        w = load()
+        index = PatternIndex(
+            w.model.patterns, w.model.registry, metrics=MetricsRegistry()
+        )
+        for tlog in w.unique_shapes:  # pre-build every group
+            index.lookup(tlog)
+        return (index, w.tokenized)
+
+    def run_index_lookup(state):
+        index, tokenized = state
+        misses = 0
+        for tlog in tokenized:
+            if index.lookup(tlog) is None:
+                misses += 1
+        return misses
+
+    def check_index_lookup(state, misses):
+        if misses:
+            raise AssertionError(
+                "index_lookup: %d lookup misses on a clean corpus" % misses
+            )
+
+    return [
+        BenchCase(
+            name="tokenizer",
+            params=workload_params,
+            setup=setup_tokenizer,
+            run=run_tokenizer,
+            records=lambda lines: len(lines),
+        ),
+        BenchCase(
+            name="parser_indexed",
+            params=workload_params,
+            setup=setup_indexed,
+            run=run_indexed,
+            records=lambda s: len(s[1]),
+            check=check_indexed,
+        ),
+        BenchCase(
+            name="parser_logstash",
+            params={"templates": templates, "logs": logstash_logs},
+            setup=setup_logstash,
+            run=run_logstash,
+            records=lambda s: len(s[1]),
+        ),
+        BenchCase(
+            name="index_build",
+            params=workload_params,
+            setup=setup_index_build,
+            run=run_index_build,
+            records=lambda s: len(s[1]),
+        ),
+        BenchCase(
+            name="index_lookup",
+            params=workload_params,
+            setup=setup_index_lookup,
+            run=run_index_lookup,
+            records=lambda s: len(s[1]),
+            check=check_index_lookup,
+        ),
+    ]
+
+
+def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    events = params["events_per_workflow"]
+    case_params = {"events_per_workflow": events}
+    shared: Dict[str, Any] = {}
+
+    def load():
+        if "workload" not in shared:
+            shared["workload"] = service_workload(events)
+        return shared["workload"]
+
+    def replay(workload, metrics):
+        service = LogLensService(num_partitions=4, metrics=metrics)
+        service.model_manager.register_built(workload.models)
+        service.model_manager.publish_all()
+        service.flush_model_updates()
+        service.ingest(workload.lines, source="bench")
+        service.run_until_drained()
+        service.final_flush()
+        return service
+
+    def run_metrics_on(workload):
+        return replay(workload, MetricsRegistry())
+
+    def run_metrics_off(workload):
+        return replay(workload, NullRegistry())
+
+    def check_drained(workload, service):
+        if service is None:
+            return
+        archived = service.log_storage.count()
+        if archived != len(workload.lines):
+            raise AssertionError(
+                "service replay archived %d of %d lines"
+                % (archived, len(workload.lines))
+            )
+
+    return [
+        BenchCase(
+            name="service_throughput",
+            params=case_params,
+            setup=load,
+            run=run_metrics_on,
+            records=lambda w: len(w.lines),
+            check=check_drained,
+        ),
+        BenchCase(
+            name="service_metrics_off",
+            params=case_params,
+            setup=load,
+            run=run_metrics_off,
+            records=lambda w: len(w.lines),
+            check=check_drained,
+        ),
+    ]
+
+
+def build_cases(quick: bool = False) -> List[BenchCase]:
+    """The primary case catalog at quick (CI) or full (local) size."""
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+    return _parser_cases(params) + _service_cases(params)
+
+
+def derive_ratio(
+    name: str,
+    numerator: CaseResult,
+    denominator: CaseResult,
+    better: str,
+    per_record: bool = True,
+) -> CaseResult:
+    """A ratio case computed sample-by-sample from two primary results.
+
+    With ``per_record`` each sample is first normalised by its case's
+    record count, so differently-sized workloads (the Logstash subsample)
+    compare fairly.
+    """
+    pairs = min(len(numerator.samples), len(denominator.samples))
+    num_scale = numerator.records if per_record and numerator.records else 1
+    den_scale = (
+        denominator.records if per_record and denominator.records else 1
+    )
+    samples = [
+        (numerator.samples[i] / num_scale)
+        / (denominator.samples[i] / den_scale)
+        for i in range(pairs)
+    ]
+    return CaseResult(
+        case=name,
+        params={
+            "numerator": numerator.case,
+            "denominator": denominator.case,
+            "per_record": per_record,
+        },
+        repeats=pairs,
+        warmup=0,
+        unit="ratio",
+        better=better,
+        records=0,
+        samples=samples,
+        stats=summarize(samples),
+    )
+
+
+def _derived(results: List[CaseResult]) -> List[CaseResult]:
+    by_name = {r.case: r for r in results}
+    out: List[CaseResult] = []
+    if "parser_logstash" in by_name and "parser_indexed" in by_name:
+        out.append(
+            derive_ratio(
+                "parser_speedup",
+                by_name["parser_logstash"],
+                by_name["parser_indexed"],
+                better="higher",
+            )
+        )
+    if "service_throughput" in by_name and "service_metrics_off" in by_name:
+        out.append(
+            derive_ratio(
+                "service_metrics_overhead",
+                by_name["service_throughput"],
+                by_name["service_metrics_off"],
+                better="lower",
+                per_record=False,
+            )
+        )
+    return out
+
+
+def case_names(quick: bool = False) -> List[str]:
+    """Every artifact name a full suite run produces, in order."""
+    names = [c.name for c in build_cases(quick)]
+    return names + ["parser_speedup", "service_metrics_overhead"]
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CaseResult]:
+    """Run the suite; returns primary results plus derived ratio cases.
+
+    ``only`` filters primary cases by name (derived cases appear when
+    both of their inputs ran).
+    """
+    params = QUICK_PARAMS if quick else FULL_PARAMS
+    repeats = repeats if repeats is not None else params["repeats"]
+    warmup = warmup if warmup is not None else params["warmup"]
+    results: List[CaseResult] = []
+    for case in build_cases(quick):
+        if only and case.name not in only:
+            continue
+        if progress is not None:
+            progress(case.name)
+        results.append(run_case(case, repeats=repeats, warmup=warmup))
+    return results + _derived(results)

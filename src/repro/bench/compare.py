@@ -1,0 +1,266 @@
+"""Regression verdicts: diff two ``BENCH_*`` result sets with a tolerance.
+
+The CI gate runs ``loglens bench --quick`` on every PR and compares the
+fresh artifacts against the checked-in baseline::
+
+    python -m repro.bench.compare benchmarks/baseline bench-out \
+        --tolerance 0.25
+
+Verdict semantics (deterministic; direction comes from each artifact's
+``better`` field):
+
+* ``pass`` — the median moved within tolerance, improved, or is exactly
+  equal.
+* ``fail`` — the median regressed by more than ``tolerance`` (relative):
+  for ``better == "lower"`` a rise, for ``better == "higher"`` a drop.
+* ``missing`` — the case exists in the baseline but not in the current
+  set; fails the gate, since silently-dropped coverage must not pass.
+* ``new`` — the case exists only in the current set; passes.
+* ``skipped`` — incomparable (a zero baseline median with a nonzero
+  current one is a broken baseline, not a regression); passes with a
+  note.
+
+A missing or empty *baseline directory* is a soft pass (exit 0 with a
+notice): forks and fresh branches have no baseline to regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "CaseVerdict",
+    "CompareReport",
+    "compare_case",
+    "compare_results",
+    "load_results",
+    "compare_dirs",
+    "main",
+]
+
+#: The CI gate's relative-regression budget (25%).
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass
+class CaseVerdict:
+    """One case's comparison outcome."""
+
+    case: str
+    status: str  # pass | fail | missing | new | skipped
+    baseline_median: Optional[float]
+    current_median: Optional[float]
+    #: Relative regression: positive means worse, in the case's own
+    #: direction (``None`` when incomparable).
+    regression: Optional[float]
+    tolerance: float
+    better: str = "lower"
+    note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status not in ("fail", "missing")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case": self.case,
+            "status": self.status,
+            "baseline_median": self.baseline_median,
+            "current_median": self.current_median,
+            "regression": self.regression,
+            "tolerance": self.tolerance,
+            "better": self.better,
+            "note": self.note,
+        }
+
+    def summary(self) -> str:
+        change = (
+            "%+.1f%%" % (self.regression * 100.0)
+            if self.regression is not None
+            else "n/a"
+        )
+        return "%-28s %-8s regression=%s (tolerance %.0f%%)%s" % (
+            self.case,
+            self.status.upper(),
+            change,
+            self.tolerance * 100.0,
+            " — " + self.note if self.note else "",
+        )
+
+
+@dataclass
+class CompareReport:
+    """All verdicts of one baseline/current comparison."""
+
+    verdicts: List[CaseVerdict] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def failures(self) -> List[CaseVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def summary(self) -> str:
+        lines = [v.summary() for v in self.verdicts]
+        lines.append(
+            "RESULT: %s (%d case(s), %d failure(s))"
+            % ("PASS" if self.ok else "FAIL", len(self.verdicts),
+               len(self.failures))
+        )
+        return "\n".join(lines)
+
+
+def _median(doc: Mapping[str, Any]) -> float:
+    return float(doc["stats"]["median"])
+
+
+def compare_case(
+    name: str,
+    baseline: Optional[Mapping[str, Any]],
+    current: Optional[Mapping[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CaseVerdict:
+    """Verdict for one case given its two (possibly absent) artifacts."""
+    if baseline is None and current is None:
+        raise ValueError("case %r absent from both result sets" % name)
+    if current is None:
+        return CaseVerdict(
+            case=name,
+            status="missing",
+            baseline_median=_median(baseline),
+            current_median=None,
+            regression=None,
+            tolerance=tolerance,
+            better=baseline.get("better", "lower"),
+            note="present in baseline, absent from current run",
+        )
+    if baseline is None:
+        return CaseVerdict(
+            case=name,
+            status="new",
+            baseline_median=None,
+            current_median=_median(current),
+            regression=None,
+            tolerance=tolerance,
+            better=current.get("better", "lower"),
+            note="no baseline entry; recorded for the next baseline",
+        )
+    better = baseline.get("better", current.get("better", "lower"))
+    base = _median(baseline)
+    cur = _median(current)
+    if base == 0.0:
+        if cur == 0.0:
+            return CaseVerdict(
+                case=name, status="pass", baseline_median=base,
+                current_median=cur, regression=0.0, tolerance=tolerance,
+                better=better,
+            )
+        return CaseVerdict(
+            case=name, status="skipped", baseline_median=base,
+            current_median=cur, regression=None, tolerance=tolerance,
+            better=better,
+            note="zero baseline median is incomparable; fix the baseline",
+        )
+    if better == "higher":
+        regression = (base - cur) / base
+    else:
+        regression = (cur - base) / base
+    status = "fail" if regression > tolerance else "pass"
+    return CaseVerdict(
+        case=name,
+        status=status,
+        baseline_median=base,
+        current_median=cur,
+        regression=regression,
+        tolerance=tolerance,
+        better=better,
+    )
+
+
+def compare_results(
+    baseline: Mapping[str, Mapping[str, Any]],
+    current: Mapping[str, Mapping[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CompareReport:
+    """Compare two ``{case_name: artifact_dict}`` maps."""
+    names = sorted(set(baseline) | set(current))
+    verdicts = [
+        compare_case(
+            name, baseline.get(name), current.get(name), tolerance
+        )
+        for name in names
+    ]
+    return CompareReport(verdicts=verdicts, tolerance=tolerance)
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Read every ``BENCH_*.json`` in a directory, keyed by case name."""
+    out: Dict[str, Dict[str, Any]] = {}
+    root = Path(path)
+    if not root.is_dir():
+        return out
+    for artifact in sorted(root.glob("BENCH_*.json")):
+        doc = json.loads(artifact.read_text())
+        out[doc["case"]] = doc
+    return out
+
+
+def compare_dirs(
+    baseline_dir: Union[str, Path],
+    current_dir: Union[str, Path],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CompareReport:
+    return compare_results(
+        load_results(baseline_dir), load_results(current_dir), tolerance
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="diff two BENCH_* result sets; exit 1 on regression",
+    )
+    parser.add_argument("baseline", help="directory with baseline artifacts")
+    parser.add_argument("current", help="directory with current artifacts")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="relative median-regression budget (default 0.25)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the JSON report"
+    )
+    args = parser.parse_args(argv)
+    baseline = load_results(args.baseline)
+    if not baseline:
+        print(
+            "no baseline artifacts in %r; skipping the regression gate "
+            "(soft pass)" % args.baseline
+        )
+        return 0
+    current = load_results(args.current)
+    report = compare_results(baseline, current, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

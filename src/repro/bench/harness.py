@@ -1,0 +1,264 @@
+"""Deterministic benchmark harness: warmup + repeat protocol, JSON artifacts.
+
+The LogLens paper's headline claims are about *speed* (Table IV: the
+signature-indexed parser is up to 18x faster than Logstash; Section VI:
+the service sustains real-time streams), so the reproduction needs a
+repeatable way to measure itself.  This module is the measurement
+substrate:
+
+* a :class:`BenchCase` names one workload (seeded generators from
+  :mod:`repro.datasets`, so two runs measure the same bytes);
+* :func:`run_case` executes it under a warmup + repeat protocol on the
+  steady clock (``time.perf_counter``) and reduces the samples to
+  min/median/mean/p95/max;
+* the resulting :class:`CaseResult` serialises to a machine-readable
+  ``BENCH_<case>.json`` artifact (schema: case, params, repeats, stats,
+  git SHA) that :mod:`repro.bench.compare` can diff across commits.
+
+:func:`measure` is the low-level primitive the ``benchmarks/`` suite
+shares with the CLI gate, so ad-hoc numbers and CI numbers come from the
+same protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "percentile",
+    "summarize",
+    "Measurement",
+    "measure",
+    "BenchCase",
+    "CaseResult",
+    "run_case",
+    "current_git_sha",
+]
+
+#: Version stamp of the ``BENCH_<case>.json`` schema.
+SCHEMA_VERSION = 1
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-percentile (``0 <= q <= 100``) with linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be in [0, 100]; got %r" % (q,))
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Reduce raw samples to the stats block of a ``BENCH_*`` artifact."""
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    return {
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "mean": statistics.fmean(samples),
+        "p95": percentile(samples, 95.0),
+        "max": max(samples),
+    }
+
+
+@dataclass
+class Measurement:
+    """Raw output of :func:`measure`: timed samples plus excluded warmups."""
+
+    samples: List[float]
+    warmup_samples: List[float]
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        return summarize(self.samples)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    def per_record(self, records: int) -> float:
+        """Median seconds per record for a run over ``records`` records."""
+        return self.median / records if records else 0.0
+
+
+def measure(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Measurement:
+    """Time ``fn`` under the warmup + repeat protocol.
+
+    ``warmup`` invocations run first and are *excluded* from the stats
+    (they populate caches, JIT-warm nothing in CPython but do warm memo
+    tables and the OS page cache); then ``repeats`` timed invocations on
+    the steady clock.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    warmup_samples: List[float] = []
+    for _ in range(warmup):
+        started = time.perf_counter()
+        fn()
+        warmup_samples.append(time.perf_counter() - started)
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return Measurement(samples=samples, warmup_samples=warmup_samples)
+
+
+@dataclass
+class BenchCase:
+    """One named benchmark workload.
+
+    ``setup`` builds the workload state once (untimed); ``run`` is the
+    timed body, called once per warmup/repeat with that state.
+    ``records`` (an int or a callable over the state) scales timings to
+    records/sec; ``check`` (optional) validates the last run's return
+    value so a silently-broken workload can't report a great number.
+    """
+
+    name: str
+    setup: Callable[[], Any]
+    run: Callable[[Any], Any]
+    params: Dict[str, Any] = field(default_factory=dict)
+    records: Union[int, Callable[[Any], int]] = 0
+    check: Optional[Callable[[Any, Any], None]] = None
+    unit: str = "seconds"
+    better: str = "lower"
+
+
+def current_git_sha() -> str:
+    """The repo's HEAD SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(Path(__file__).resolve().parent),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@dataclass
+class CaseResult:
+    """One case's measured result — the in-memory form of the artifact."""
+
+    case: str
+    params: Dict[str, Any]
+    repeats: int
+    warmup: int
+    unit: str
+    better: str
+    records: int
+    samples: List[float]
+    stats: Dict[str, float]
+    git_sha: str = field(default_factory=current_git_sha)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def median(self) -> float:
+        return self.stats["median"]
+
+    @property
+    def records_per_second(self) -> float:
+        """Throughput at the median sample (0 for ratio-style cases)."""
+        median = self.stats["median"]
+        if not self.records or median <= 0:
+            return 0.0
+        return self.records / median
+
+    @property
+    def filename(self) -> str:
+        return "BENCH_%s.json" % self.case
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "case": self.case,
+            "params": dict(self.params),
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "unit": self.unit,
+            "better": self.better,
+            "records": self.records,
+            "records_per_second": self.records_per_second,
+            "samples": list(self.samples),
+            "stats": dict(self.stats),
+            "git_sha": self.git_sha,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CaseResult":
+        return cls(
+            case=data["case"],
+            params=dict(data.get("params", {})),
+            repeats=data.get("repeats", len(data.get("samples", []))),
+            warmup=data.get("warmup", 0),
+            unit=data.get("unit", "seconds"),
+            better=data.get("better", "lower"),
+            records=data.get("records", 0),
+            samples=list(data.get("samples", [])),
+            stats=dict(data["stats"]),
+            git_sha=data.get("git_sha", "unknown"),
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+        )
+
+    def write(self, out_dir: Union[str, Path]) -> Path:
+        """Write ``BENCH_<case>.json`` into ``out_dir``; returns the path."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / self.filename
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+
+def run_case(
+    case: BenchCase, repeats: int = 5, warmup: int = 1
+) -> CaseResult:
+    """Execute one case under the protocol and package the artifact."""
+    state = case.setup()
+    last: List[Any] = [None]
+
+    def body() -> None:
+        last[0] = case.run(state)
+
+    measured = measure(body, repeats=repeats, warmup=warmup)
+    if case.check is not None:
+        case.check(state, last[0])
+    records = (
+        case.records(state) if callable(case.records) else case.records
+    )
+    return CaseResult(
+        case=case.name,
+        params=dict(case.params),
+        repeats=repeats,
+        warmup=warmup,
+        unit=case.unit,
+        better=case.better,
+        records=records,
+        samples=measured.samples,
+        stats=measured.stats,
+    )

@@ -1,0 +1,87 @@
+"""Seeded workload generators for the benchmark suite.
+
+Every workload is a pure function of its parameters: the corpora come
+from :mod:`repro.datasets` generators with pinned seeds, and pattern
+models are discovered from those corpora with the default discoverer.
+Two runs of the same case therefore measure *exactly* the same bytes —
+the precondition for comparing artifacts across commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..datasets.corpora import _NETWORK_VOCAB, generate_corpus
+from ..datasets.trace import generate_d1
+from ..parsing.logmine import PatternDiscoverer
+from ..parsing.parser import PatternModel
+from ..parsing.tokenizer import TokenizedLog, Tokenizer
+from ..service.model_builder import BuiltModels, ModelBuilder
+
+__all__ = [
+    "ParserWorkload",
+    "ServiceWorkload",
+    "parser_workload",
+    "service_workload",
+]
+
+#: Seed for the parser-path corpus; fixed forever so artifacts compare.
+PARSER_SEED = 97
+
+
+@dataclass
+class ParserWorkload:
+    """A discovered pattern model plus the lines it must parse cleanly."""
+
+    lines: List[str]
+    tokenized: List[TokenizedLog]
+    model: PatternModel
+
+    @property
+    def unique_shapes(self) -> List[TokenizedLog]:
+        """One tokenized log per distinct signature (index-build probes)."""
+        seen = set()
+        out: List[TokenizedLog] = []
+        for tlog in self.tokenized:
+            sig = tlog.signature
+            if sig not in seen:
+                seen.add(sig)
+                out.append(tlog)
+        return out
+
+
+def parser_workload(
+    n_templates: int, n_logs: int, seed: int = PARSER_SEED
+) -> ParserWorkload:
+    """A format-diverse corpus and the patterns discovered from it.
+
+    Training and test lines are identical (the paper's Table IV sanity
+    setup), so a correct parser reports zero anomalies over the workload.
+    """
+    corpus = generate_corpus(
+        "bench", n_templates, n_logs, _NETWORK_VOCAB, seed=seed
+    )
+    tokenizer = Tokenizer()
+    tokenized = tokenizer.tokenize_many(corpus.train)
+    patterns = PatternDiscoverer().discover(tokenized)
+    return ParserWorkload(
+        lines=list(corpus.test),
+        tokenized=tokenized,
+        model=PatternModel(patterns),
+    )
+
+
+@dataclass
+class ServiceWorkload:
+    """Prebuilt models plus the event stream the service replays."""
+
+    lines: List[str]
+    models: BuiltModels
+
+
+def service_workload(events_per_workflow: int, seed: int = 7) -> ServiceWorkload:
+    """The D1 event dataset with models built once, outside the timing."""
+    dataset = generate_d1(events_per_workflow=events_per_workflow, seed=seed)
+    models = ModelBuilder().build(dataset.train)
+    return ServiceWorkload(lines=list(dataset.test), models=models)

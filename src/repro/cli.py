@@ -1,6 +1,6 @@
 """Command-line interface for the LogLens reproduction.
 
-Eight subcommands cover the library's workflow from a shell::
+Nine subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
@@ -10,6 +10,7 @@ Eight subcommands cover the library's workflow from a shell::
     loglens quality sample.log -m model.json      # drift check (coverage)
     loglens metrics stream.log -m model.json      # observability snapshot
     loglens chaos   stream.log -m model.json      # fault-injection proof
+    loglens bench   --quick -o bench-out          # perf benchmark suite
 
 ``train`` reads raw lines (one log per line), discovers patterns, learns
 automata, and writes one JSON model file.  ``detect`` replays a stream
@@ -191,6 +192,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the deterministic perf-benchmark suite and write "
+             "BENCH_<case>.json artifacts",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized workloads (seconds instead of minutes)",
+    )
+    bench.add_argument(
+        "-o", "--out", default=".", metavar="DIR",
+        help="directory for BENCH_<case>.json artifacts (default: cwd)",
+    )
+    bench.add_argument(
+        "--case", action="append", dest="cases", metavar="NAME",
+        help="run only this primary case (repeatable)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repetitions per case (default: suite preset)",
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup runs per case (default: suite preset)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE_DIR",
+        help="after running, diff against this baseline directory; "
+             "exit 1 on regression (soft pass when it has no artifacts)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative median-regression budget for --compare "
+             "(default 0.25)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="list the case catalog and exit",
+    )
 
     quality = sub.add_parser(
         "quality", help="report how well a model fits a log sample"
@@ -475,6 +516,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the deterministic benchmark suite; optionally gate on it."""
+    from .bench import case_names, compare_results, load_results, run_bench
+
+    if args.list_cases:
+        for name in case_names(quick=args.quick):
+            print(name)
+        return 0
+    results = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        only=args.cases,
+        progress=lambda name: print(
+            "bench: running %s ..." % name, file=sys.stderr, flush=True
+        ),
+    )
+    if not results:
+        print("error: no cases matched", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out)
+    for result in results:
+        path = result.write(out_dir)
+        throughput = (
+            "  %12.0f rec/s" % result.records_per_second
+            if result.records_per_second
+            else ""
+        )
+        print(
+            "%-28s median=%.6f %s%s  -> %s"
+            % (result.case, result.median, result.unit, throughput, path)
+        )
+    if args.compare is None:
+        return 0
+    baseline = load_results(args.compare)
+    if not baseline:
+        print(
+            "no baseline artifacts in %r; skipping the regression gate "
+            "(soft pass)" % args.compare
+        )
+        return 0
+    current = {r.case: r.to_dict() for r in results}
+    report = compare_results(baseline, current, tolerance=args.tolerance)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from .parsing.quality import evaluate_pattern_model
 
@@ -496,6 +584,7 @@ _COMMANDS = {
     "quality": _cmd_quality,
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
 }
 
 

@@ -15,6 +15,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    NullRegistry,
     get_registry,
     set_registry,
     timed,
@@ -26,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullRegistry",
     "timed",
     "get_registry",
     "set_registry",

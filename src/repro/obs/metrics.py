@@ -54,6 +54,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullRegistry",
     "timed",
     "get_registry",
     "set_registry",
@@ -190,6 +191,34 @@ class Histogram:
                 self._max = value
         if self._parent is not None:
             self._parent.observe(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Observe a batch of values under one lock acquisition.
+
+        Per-batch metric publication (the deferred-metrics mode of the
+        parser path) folds thousands of per-record observations into one
+        call; taking the lock once per batch instead of once per record
+        removes the dominant cost of observability on the hot path.
+        """
+        if not values:
+            return
+        bounds = self._bounds
+        with self._lock:
+            counts = self._counts
+            lo, hi = self._min, self._max
+            total = 0.0
+            for value in values:
+                counts[bisect.bisect_left(bounds, value)] += 1
+                total += value
+                if lo is None or value < lo:
+                    lo = value
+                if hi is None or value > hi:
+                    hi = value
+            self._count += len(values)
+            self._sum += total
+            self._min, self._max = lo, hi
+        if self._parent is not None:
+            self._parent.observe_many(values)
 
     def time(self) -> "_Timer":
         """Context manager observing the elapsed wall time in seconds."""
@@ -382,6 +411,108 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for metric in metrics:
             metric.reset()
+
+
+class _NullCounter(Counter):
+    """A counter that records nothing (still validates its input)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; got %r" % (amount,))
+
+
+class _NullGauge(Gauge):
+    """A gauge that records nothing."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """A histogram that records nothing; ``time()`` is a no-op context."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        pass
+
+    def time(self) -> "_NullTimer":  # type: ignore[override]
+        return _NULL_TIMER
+
+
+class _NullTimer:
+    """No-clock stand-in for ``Histogram.time()``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose metrics are shared no-ops.
+
+    The control arm of observability-overhead experiments (the
+    ``service_metrics_off`` bench case): instrumented components keep
+    their exact call pattern — every ``inc``/``observe``/``time`` still
+    happens — but nothing is recorded, no locks are taken, and
+    :meth:`to_dict` is empty.  Instance identity is intentionally shared
+    across names: callers must not rely on ``get``-style retrieval from
+    a null registry.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter()
+        self._null_gauge = _NullGauge()
+        self._null_histogram = _NullHistogram()
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        return self._null_histogram
+
+    def names(self) -> List[str]:
+        return []
+
+    def get(self, name: str, **labels: str) -> Optional[_Metric]:
+        return None
+
+    def to_dict(self) -> Dict[str, List[Dict[str, Any]]]:
+        return {}
+
+    snapshot = to_dict
+
+    def reset(self) -> None:
+        pass
 
 
 def timed(

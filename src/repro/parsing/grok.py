@@ -79,6 +79,7 @@ class GrokPattern:
         self.pattern_id = pattern_id
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self._signature: Optional[str] = None
+        self._signature_tokens: Optional[Tuple[str, ...]] = None
         self._has_wildcard = any(
             isinstance(e, Field) and e.datatype == "ANYDATA"
             for e in self.elements
@@ -150,6 +151,17 @@ class GrokPattern:
                     parts.append(self.registry.infer(e.text))
             self._signature = " ".join(parts)
         return self._signature
+
+    def signature_tokens(self) -> Tuple[str, ...]:
+        """The pattern-signature pre-split into datatype names.
+
+        Cached: the index compares this against every unseen log shape,
+        and re-splitting the joined signature per comparison shows up in
+        the group-build profile.
+        """
+        if self._signature_tokens is None:
+            self._signature_tokens = tuple(self.signature().split())
+        return self._signature_tokens
 
     def generality_key(self) -> Tuple[int, int]:
         """Sort key: (total generality, token length), both ascending.

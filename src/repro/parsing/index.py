@@ -16,6 +16,13 @@ with a hash index keyed by *log-signature* (paper, Section III-B):
 Because distinct log *shapes* are few (thousands) while logs are many
 (millions), almost every probe is a hit.
 
+Group building itself is narrowed twice before Algorithm 1 runs: a
+wildcard-free pattern of k tokens can never parse a log of a different
+length (the by-length table), and its first signature datatype must cover
+the log's first datatype (the first-token dispatch table), so lookups
+skip non-candidate groups of patterns entirely.  Wildcard patterns match
+any shape and are always checked.
+
 Streaming workers running under ``StreamingContext(parallel=True)`` may
 share one index through a broadcast parser, so group building/memoisation
 is guarded by a lock and all counters are atomic
@@ -32,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..obs import Counter, MetricsRegistry, get_registry
 from .datatypes import DatatypeRegistry, DEFAULT_REGISTRY
 from .grok import GrokPattern
-from .matcher import is_matched
+from .matcher import is_matched_tokens
 from .tokenizer import TokenizedLog
 
 __all__ = ["IndexStats", "PatternIndex"]
@@ -108,7 +115,11 @@ class PatternIndex:
     Thread-safety: concurrent lookups are safe.  Memoised-group probes
     never take the lock; group building is serialised by ``_lock`` so two
     workers racing on the same unseen signature build it once and the
-    ``_by_length``/``_wildcards`` side tables are published exactly once.
+    ``_by_length``/``_wildcards``/dispatch side tables are published
+    exactly once.  The deferred-metrics mode (:meth:`defer_metrics`) is
+    the one exception: it accumulates hot-path counters in plain ints and
+    must only be enabled on an index owned by a single thread (the
+    service's per-worker parsers).
     """
 
     def __init__(
@@ -127,14 +138,46 @@ class PatternIndex:
         )
         self._lock = threading.Lock()
         # Group building only needs to compare signatures of compatible
-        # length: a wildcard-free pattern of k tokens can never parse a
-        # log of a different length.  Wildcard patterns match any length
-        # and are checked for every build.
-        self._by_length: Optional[Dict[int, List[GrokPattern]]] = None
+        # length and first datatype; see the module docstring.  Each
+        # ``_by_length`` entry pairs the pattern with its first signature
+        # datatype; ``_dispatch`` memoises the per-(length, first) pool.
+        self._by_length: Optional[
+            Dict[int, List[Tuple[GrokPattern, str]]]
+        ] = None
         self._wildcards: List[GrokPattern] = []
+        self._dispatch: Dict[Tuple[int, str], List[GrokPattern]] = {}
+        # Deferred-metrics accumulators (plain ints; see defer_metrics).
+        self._deferred = False
+        self._pend_lookups = 0
+        self._pend_group_hits = 0
+        self._pend_pattern_scans = 0
 
     def __len__(self) -> int:
         return len(self.patterns)
+
+    # ------------------------------------------------------------------
+    def defer_metrics(self, deferred: bool) -> None:
+        """Toggle per-batch publication of the hot-path counters.
+
+        Only the lock-free lookup counters are deferred; the rare
+        group-build path keeps publishing exactly.  Enable only on an
+        index driven by a single thread; leaving the mode flushes.
+        """
+        if self._deferred and not deferred:
+            self.flush_metrics()
+        self._deferred = deferred
+
+    def flush_metrics(self) -> None:
+        """Publish counter increments accumulated while deferred."""
+        if self._pend_lookups:
+            self.stats._lookups.inc(self._pend_lookups)
+            self._pend_lookups = 0
+        if self._pend_group_hits:
+            self.stats._group_hits.inc(self._pend_group_hits)
+            self._pend_group_hits = 0
+        if self._pend_pattern_scans:
+            self.stats._pattern_scans.inc(self._pend_pattern_scans)
+            self._pend_pattern_scans = 0
 
     # ------------------------------------------------------------------
     def lookup(
@@ -145,12 +188,20 @@ class PatternIndex:
         ``None`` means no discovered pattern parses the log — the caller
         reports it as a stateless anomaly.
         """
-        self.stats._lookups.inc()
+        deferred = self._deferred
         signature = log.signature
         group = self._groups.get(signature)
         if group is None:
             group = self._build_group(signature)
+            if deferred:
+                self._pend_lookups += 1
+            else:
+                self.stats._lookups.inc()
+        elif deferred:
+            self._pend_lookups += 1
+            self._pend_group_hits += 1
         else:
+            self.stats._lookups.inc()
             self.stats._group_hits.inc()
         # Count scans locally and publish once: a per-pattern ``inc()``
         # inside this loop is two lock acquisitions per candidate, which
@@ -164,7 +215,10 @@ class PatternIndex:
                 hit = (pattern, fields)
                 break
         if scanned:
-            self.stats._pattern_scans.inc(scanned)
+            if deferred:
+                self._pend_pattern_scans += scanned
+            else:
+                self.stats._pattern_scans.inc(scanned)
         return hit
 
     def candidate_group(self, log: TokenizedLog) -> List[GrokPattern]:
@@ -182,26 +236,30 @@ class PatternIndex:
             # while we waited for the lock; their build is our hit.
             group = self._groups.get(signature)
             if group is not None:
-                self.stats._group_hits.inc()
+                if self._deferred:
+                    self._pend_group_hits += 1
+                else:
+                    self.stats._group_hits.inc()
                 return group
             self.stats._group_builds.inc()
             with self._build_seconds.time():
                 if self._by_length is None:
                     self._index_by_length()
                 assert self._by_length is not None
-                length = len(signature.split())
+                parts = signature.split()
                 candidates: List[GrokPattern] = []
                 compared = 0
-                for pattern in self._by_length.get(length, []):
+                registry = self.registry
+                for pattern in self._dispatch_pool(parts):
                     compared += 1
-                    if is_matched(
-                        signature, pattern.signature(), self.registry
+                    if is_matched_tokens(
+                        parts, pattern.signature_tokens(), registry
                     ):
                         candidates.append(pattern)
                 for pattern in self._wildcards:
                     compared += 1
-                    if is_matched(
-                        signature, pattern.signature(), self.registry
+                    if is_matched_tokens(
+                        parts, pattern.signature_tokens(), registry
                     ):
                         candidates.append(pattern)
                 if compared:
@@ -212,14 +270,43 @@ class PatternIndex:
                 self._groups[signature] = candidates
             return candidates
 
+    def _dispatch_pool(self, parts: List[str]) -> List[GrokPattern]:
+        """Wildcard-free patterns whose shape could match ``parts``.
+
+        Pools are memoised per ``(length, first datatype)``: a pattern
+        survives the filter only when its first signature datatype equals
+        or covers the log's first datatype, so Algorithm 1 never runs
+        against patterns that cannot match (paper's "finding" step, made
+        sub-linear in the pattern count).  Called with ``_lock`` held.
+        """
+        if not parts:
+            return []
+        assert self._by_length is not None
+        length = len(parts)
+        first = parts[0]
+        key = (length, first)
+        pool = self._dispatch.get(key)
+        if pool is None:
+            is_covered = self.registry.is_covered
+            pool = [
+                pattern
+                for pattern, pattern_first in self._by_length.get(length, ())
+                if first == pattern_first or is_covered(first, pattern_first)
+            ]
+            self._dispatch[key] = pool
+        return pool
+
     def _index_by_length(self) -> None:
-        by_length: Dict[int, List[GrokPattern]] = {}
+        by_length: Dict[int, List[Tuple[GrokPattern, str]]] = {}
         wildcards: List[GrokPattern] = []
         for pattern in self.patterns:
             if pattern.has_wildcard:
                 wildcards.append(pattern)
             else:
-                length = len(pattern.elements)
-                by_length.setdefault(length, []).append(pattern)
+                tokens = pattern.signature_tokens()
+                first = tokens[0] if tokens else ""
+                by_length.setdefault(len(tokens), []).append(
+                    (pattern, first)
+                )
         self._wildcards = wildcards
         self._by_length = by_length

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 
 from .datatypes import DEFAULT_REGISTRY, DatatypeRegistry
 
-__all__ = ["is_matched", "is_matched_simple"]
+__all__ = ["is_matched", "is_matched_simple", "is_matched_tokens"]
 
 _WILDCARD = "ANYDATA"
 
@@ -52,9 +52,24 @@ def is_matched(
     ``ANYDATA`` wildcard handling via dynamic programming.  Signatures are
     whitespace-joined datatype names.
     """
+    return is_matched_tokens(
+        log_signature.split(), pattern_signature.split(), registry
+    )
+
+
+def is_matched_tokens(
+    L: Sequence[str],
+    P: Sequence[str],
+    registry: Optional[DatatypeRegistry] = None,
+) -> bool:
+    """Algorithm 1 over pre-split signatures.
+
+    The pattern index compares one log-signature against many
+    pattern-signatures; keeping both sides pre-split avoids re-splitting
+    the pattern signature on every comparison (see
+    :meth:`~repro.parsing.grok.GrokPattern.signature_tokens`).
+    """
     registry = registry if registry is not None else DEFAULT_REGISTRY
-    L = log_signature.split()
-    P = pattern_signature.split()
     if _WILDCARD not in P:
         return is_matched_simple(L, P, registry)
     n, m = len(L), len(P)

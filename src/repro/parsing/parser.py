@@ -197,6 +197,15 @@ class FastLogParser:
     tokenizer:
         Preprocessing front-end; a default whitespace tokenizer with the
         89-format timestamp detector is created when omitted.
+    deferred_metrics:
+        When true, per-record counter increments and latency observations
+        accumulate locally and publish once per batch
+        (:meth:`flush_metrics`), instead of taking the registry locks per
+        record.  Only safe for a parser driven by a single thread — e.g.
+        the service's per-worker parsers.  A parser *shared* across
+        parallel streaming workers must keep the exact default: those
+        workers rely on every increment being atomic and immediately
+        visible.
     """
 
     def __init__(
@@ -204,6 +213,7 @@ class FastLogParser:
         model: Union[PatternModel, Sequence[GrokPattern]],
         tokenizer: Optional[Tokenizer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        deferred_metrics: bool = False,
     ) -> None:
         if not isinstance(model, PatternModel):
             model = PatternModel(model)
@@ -217,6 +227,12 @@ class FastLogParser:
         self._parse_seconds = self._metrics.histogram(
             "parser.parse_seconds"
         )
+        self._deferred = False
+        self._pend_parsed = 0
+        self._pend_anomalies = 0
+        self._pend_durations: List[float] = []
+        if deferred_metrics:
+            self.defer_metrics(True)
 
     # ------------------------------------------------------------------
     @property
@@ -230,10 +246,43 @@ class FastLogParser:
         self._index = PatternIndex(
             model.patterns, model.registry, metrics=self._metrics
         )
+        if self._deferred:
+            self._index.defer_metrics(True)
 
     @property
     def index(self) -> PatternIndex:
         return self._index
+
+    # ------------------------------------------------------------------
+    @property
+    def deferred_metrics(self) -> bool:
+        return self._deferred
+
+    def defer_metrics(self, deferred: bool) -> None:
+        """Toggle batched metric publication for the whole parse path.
+
+        Propagates to the tokenizer and the index; leaving the mode
+        flushes everything pending.
+        """
+        if self._deferred and not deferred:
+            self.flush_metrics()
+        self._deferred = deferred
+        self.tokenizer.defer_metrics(deferred)
+        self._index.defer_metrics(deferred)
+
+    def flush_metrics(self) -> None:
+        """Publish everything accumulated while in deferred mode."""
+        if self._pend_parsed:
+            self.stats._parsed.inc(self._pend_parsed)
+            self._pend_parsed = 0
+        if self._pend_anomalies:
+            self.stats._anomalies.inc(self._pend_anomalies)
+            self._pend_anomalies = 0
+        if self._pend_durations:
+            self._parse_seconds.observe_many(self._pend_durations)
+            self._pend_durations = []
+        self.tokenizer.flush_metrics()
+        self._index.flush_metrics()
 
     # ------------------------------------------------------------------
     def parse(
@@ -243,7 +292,11 @@ class FastLogParser:
         started = time.perf_counter()
         tokenized = self.tokenizer.tokenize(raw)
         result = self.parse_tokenized(tokenized, source=source)
-        self._parse_seconds.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        if self._deferred:
+            self._pend_durations.append(elapsed)
+        else:
+            self._parse_seconds.observe(elapsed)
         return result
 
     def parse_tokenized(
@@ -252,7 +305,10 @@ class FastLogParser:
         """Parse an already-tokenized log (used by streaming workers)."""
         hit = self._index.lookup(tokenized)
         if hit is None:
-            self.stats._anomalies.inc()
+            if self._deferred:
+                self._pend_anomalies += 1
+            else:
+                self.stats._anomalies.inc()
             return Anomaly(
                 type=AnomalyType.UNPARSED_LOG,
                 reason="log matches no discovered pattern",
@@ -262,7 +318,10 @@ class FastLogParser:
                 severity=Severity.WARNING,
             )
         pattern, fields = hit
-        self.stats._parsed.inc()
+        if self._deferred:
+            self._pend_parsed += 1
+        else:
+            self.stats._parsed.inc()
         return ParsedLog(
             raw=tokenized.raw,
             pattern_id=pattern.pattern_id,
@@ -278,8 +337,26 @@ class FastLogParser:
         for raw in raw_logs:
             yield self.parse(raw, source=source)
 
+    def parse_batch(
+        self, raw_logs: Sequence[str], source: Optional[str] = None
+    ) -> List[Union[ParsedLog, Anomaly]]:
+        """Parse a batch with per-batch (not per-record) metric updates.
+
+        Counts are exact again by the time this returns: the deferral is
+        scoped to the call and flushed on the way out (unless the parser
+        is already in deferred mode, in which case the owner flushes).
+        """
+        was_deferred = self._deferred
+        if not was_deferred:
+            self.defer_metrics(True)
+        try:
+            return [self.parse(raw, source=source) for raw in raw_logs]
+        finally:
+            if not was_deferred:
+                self.defer_metrics(False)
+
     def parse_all(
         self, raw_logs: Iterable[str], source: Optional[str] = None
     ) -> List[Union[ParsedLog, Anomaly]]:
         """Eagerly parse a batch (convenience for tests and benches)."""
-        return list(self.parse_stream(raw_logs, source=source))
+        return self.parse_batch(list(raw_logs), source=source)

@@ -30,6 +30,7 @@ __all__ = [
     "TimestampDetector",
     "DetectorStats",
     "build_default_formats",
+    "compiled_format",
     "CANONICAL_FORMAT",
     "format_epoch_millis",
     "parse_canonical",
@@ -148,6 +149,25 @@ class TimestampFormat:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "TimestampFormat(%r)" % self.sdf
+
+
+#: Shared compiled-format cache.  A TimestampFormat is immutable after
+#: construction (compiled regex, token span, separator set), but building
+#: one compiles a regex — and every default detector builds 89 of them.
+#: Per-worker tokenizers each own a detector, so without this cache a
+#: service start (or a bench repeat) recompiles the whole knowledge base
+#: per worker.  Plain dict ops are atomic under the GIL; a rare duplicate
+#: build on a race is harmless.
+_FORMAT_CACHE: Dict[str, "TimestampFormat"] = {}
+
+
+def compiled_format(sdf: str) -> "TimestampFormat":
+    """The shared compiled :class:`TimestampFormat` for ``sdf``."""
+    fmt = _FORMAT_CACHE.get(sdf)
+    if fmt is None:
+        fmt = TimestampFormat(sdf)
+        _FORMAT_CACHE[sdf] = fmt
+    return fmt
 
 
 def _sdf_to_regex(sdf: str) -> str:
@@ -314,7 +334,7 @@ class TimestampDetector:
     ) -> None:
         sdf_list = list(formats) if formats is not None \
             else build_default_formats()
-        self._formats = [TimestampFormat(s) for s in sdf_list]
+        self._formats = [compiled_format(s) for s in sdf_list]
         self.use_cache = use_cache
         self.use_filter = use_filter
         self.default_year = default_year
@@ -339,7 +359,7 @@ class TimestampDetector:
 
     def add_format(self, sdf: str) -> None:
         """Append a user-provided format to the knowledge base."""
-        self._formats.append(TimestampFormat(sdf))
+        self._formats.append(compiled_format(sdf))
         self._rebuild_span_index()
 
     def reset_cache(self) -> None:

@@ -18,7 +18,6 @@ discovery (:mod:`repro.parsing.logmine`) and fast parsing
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..obs import MetricsRegistry, get_registry
@@ -28,17 +27,43 @@ from .timestamps import TimestampDetector
 __all__ = ["Token", "TokenizedLog", "SplitRule", "Tokenizer"]
 
 
-@dataclass(frozen=True)
 class Token:
-    """One token of a preprocessed log: its text and inferred datatype."""
+    """One token of a preprocessed log: its text and inferred datatype.
 
-    text: str
-    datatype: str
+    A plain ``__slots__`` class rather than a dataclass: one Token is
+    constructed per token of every log on the parse hot path, and the
+    slotted layout with a bare ``__init__`` measurably outpaces the
+    generated dataclass machinery there.  Value semantics are preserved:
+    equality and hashing are by ``(text, datatype)``.
+    """
+
+    __slots__ = ("text", "datatype")
+
+    def __init__(self, text: str, datatype: str) -> None:
+        self.text = text
+        self.datatype = datatype
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Token:
+            return (
+                self.text == other.text  # type: ignore[union-attr]
+                and self.datatype == other.datatype  # type: ignore[union-attr]
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.text, self.datatype))
+
+    def __repr__(self) -> str:
+        return "Token(text=%r, datatype=%r)" % (self.text, self.datatype)
 
 
-@dataclass
 class TokenizedLog:
     """A fully preprocessed log line.
+
+    The log-signature is computed lazily and cached: the pattern index
+    reads it on every lookup, and the token list is never mutated after
+    construction.
 
     Attributes
     ----------
@@ -51,14 +76,27 @@ class TokenizedLog:
         ``None`` when the log carries no recognisable timestamp.
     """
 
-    raw: str
-    tokens: List[Token]
-    timestamp_millis: Optional[int] = None
+    __slots__ = ("raw", "tokens", "timestamp_millis", "_signature")
+
+    def __init__(
+        self,
+        raw: str,
+        tokens: List[Token],
+        timestamp_millis: Optional[int] = None,
+    ) -> None:
+        self.raw = raw
+        self.tokens = tokens
+        self.timestamp_millis = timestamp_millis
+        self._signature: Optional[str] = None
 
     @property
     def signature(self) -> str:
         """The log-signature: concatenated datatypes (paper, Section III-B)."""
-        return " ".join(t.datatype for t in self.tokens)
+        signature = self._signature
+        if signature is None:
+            signature = " ".join(t.datatype for t in self.tokens)
+            self._signature = signature
+        return signature
 
     @property
     def texts(self) -> List[str]:
@@ -66,6 +104,23 @@ class TokenizedLog:
 
     def __len__(self) -> int:
         return len(self.tokens)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is TokenizedLog:
+            return (
+                self.raw == other.raw  # type: ignore[union-attr]
+                and self.tokens == other.tokens  # type: ignore[union-attr]
+                and self.timestamp_millis
+                == other.timestamp_millis  # type: ignore[union-attr]
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
+
+    def __repr__(self) -> str:
+        return "TokenizedLog(raw=%r, tokens=%r, timestamp_millis=%r)" % (
+            self.raw, self.tokens, self.timestamp_millis,
+        )
 
 
 class SplitRule:
@@ -142,6 +197,34 @@ class Tokenizer:
         self._m_logs = obs.counter("tokenizer.logs")
         self._m_tokens = obs.counter("tokenizer.tokens")
         self._m_timestamps = obs.counter("tokenizer.timestamps_detected")
+        # Deferred-metrics mode: counter increments accumulate in plain
+        # ints and publish on flush (one lock round-trip per batch, not
+        # three per record).  Only safe while this tokenizer is driven by
+        # a single thread — the per-worker parsers of the service are;
+        # the default stays exact per record.
+        self._deferred = False
+        self._pend_logs = 0
+        self._pend_tokens = 0
+        self._pend_timestamps = 0
+
+    # ------------------------------------------------------------------
+    def defer_metrics(self, deferred: bool) -> None:
+        """Toggle per-batch metric publication; leaving the mode flushes."""
+        if self._deferred and not deferred:
+            self.flush_metrics()
+        self._deferred = deferred
+
+    def flush_metrics(self) -> None:
+        """Publish metric increments accumulated while deferred."""
+        if self._pend_logs:
+            self._m_logs.inc(self._pend_logs)
+            self._pend_logs = 0
+        if self._pend_tokens:
+            self._m_tokens.inc(self._pend_tokens)
+            self._pend_tokens = 0
+        if self._pend_timestamps:
+            self._m_timestamps.inc(self._pend_timestamps)
+            self._pend_timestamps = 0
 
     # ------------------------------------------------------------------
     def tokenize(self, raw: str) -> TokenizedLog:
@@ -149,15 +232,32 @@ class Tokenizer:
         texts = self._split(raw)
         texts = self._apply_split_rules(texts)
         tokens, ts_millis = self._merge_timestamps(texts)
-        self._m_logs.inc()
-        self._m_tokens.inc(len(tokens))
-        if ts_millis is not None:
-            self._m_timestamps.inc()
+        if self._deferred:
+            self._pend_logs += 1
+            self._pend_tokens += len(tokens)
+            if ts_millis is not None:
+                self._pend_timestamps += 1
+        else:
+            self._m_logs.inc()
+            self._m_tokens.inc(len(tokens))
+            if ts_millis is not None:
+                self._m_timestamps.inc()
         return TokenizedLog(raw=raw, tokens=tokens, timestamp_millis=ts_millis)
 
     def tokenize_many(self, raw_logs: Sequence[str]) -> List[TokenizedLog]:
-        """Preprocess a batch of raw log lines."""
-        return [self.tokenize(line) for line in raw_logs]
+        """Preprocess a batch of raw log lines.
+
+        Metric publication is batched across the call (and flushed before
+        returning, so counts stay exact for the caller).
+        """
+        was_deferred = self._deferred
+        self._deferred = True
+        try:
+            return [self.tokenize(line) for line in raw_logs]
+        finally:
+            self._deferred = was_deferred
+            if not was_deferred:
+                self.flush_metrics()
 
     # ------------------------------------------------------------------
     def _split(self, raw: str) -> List[str]:
@@ -187,21 +287,28 @@ class Tokenizer:
         i = 0
         n = len(texts)
         detector = self.timestamp_detector
+        # Hot loop: bind lookups once per call, not once per token.
+        append = tokens.append
+        memo_get = self._infer_memo.get
+        memo = self._infer_memo
+        memo_cap = self._infer_memo_cap
+        infer = self.registry.infer
+        identify = detector.identify if detector is not None else None
         while i < n:
-            if detector is not None:
-                match = detector.identify(texts, i)
+            if identify is not None:
+                match = identify(texts, i)
                 if match is not None:
-                    tokens.append(Token(match.normalized, "DATETIME"))
+                    append(Token(match.normalized, "DATETIME"))
                     if ts_millis is None:
                         ts_millis = match.epoch_millis
                     i += match.tokens_consumed
                     continue
             text = texts[i]
-            datatype = self._infer_memo.get(text)
+            datatype = memo_get(text)
             if datatype is None:
-                datatype = self.registry.infer(text)
-                if len(self._infer_memo) < self._infer_memo_cap:
-                    self._infer_memo[text] = datatype
-            tokens.append(Token(text, datatype))
+                datatype = infer(text)
+                if len(memo) < memo_cap:
+                    memo[text] = datatype
+            append(Token(text, datatype))
             i += 1
         return tokens, ts_millis

@@ -267,6 +267,9 @@ class LogLensService:
 
         self._steps = 0
         self._parsed_buffer: List[StreamRecord] = []
+        # Second list recycled against _parsed_buffer each step, so the
+        # steady state allocates no fresh buffer per micro-batch.
+        self._parsed_spare: List[StreamRecord] = []
         self._build_graphs()
 
     # ------------------------------------------------------------------
@@ -297,10 +300,14 @@ class LogLensService:
         model = self._pattern_bv.get_value(worker.block_manager)
         cached = getattr(worker, "_loglens_parser", None)
         if cached is None or cached.model is not model:
+            # Each worker owns its parser, so metric publication can be
+            # batched per micro-batch; step() flushes after every parse
+            # run_batch, keeping service-level counts exact per step.
             cached = FastLogParser(
                 model,
                 tokenizer=self.tokenizer_factory(),
                 metrics=self.metrics,
+                deferred_metrics=True,
             )
             worker._loglens_parser = cached  # type: ignore[attr-defined]
         payload = record.value
@@ -449,9 +456,18 @@ class LogLensService:
             for m in messages
         ]
         parse_metrics = self.parse_ctx.run_batch(parse_batch)
+        # Publish the per-worker parsers' deferred metrics; the workers
+        # are idle between run_batch calls, so this races with nothing.
+        for worker in self.parse_ctx.workers:
+            parser = getattr(worker, "_loglens_parser", None)
+            if parser is not None:
+                parser.flush_metrics()
 
         parsed_records = self._parsed_buffer
-        self._parsed_buffer = []
+        spare = self._parsed_spare
+        spare.clear()
+        self._parsed_buffer = spare
+        self._parsed_spare = parsed_records
         for record in parsed_records:
             self.heartbeat_controller.observe(
                 record.source or "unknown", record.timestamp_millis

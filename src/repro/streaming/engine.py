@@ -409,6 +409,11 @@ class StreamingContext:
             if parallel
             else None
         )
+        # Bucket lists recycled across micro-batches; run_batch is
+        # driver-serialised, so one set per context is safe.
+        self._bucket_buffers: List[List[StreamRecord]] = [
+            [] for _ in range(num_partitions)
+        ]
 
     @property
     def retries_total(self) -> int:
@@ -456,7 +461,9 @@ class StreamingContext:
         # zero downtime (the stream is simply between two batches).
         with self._rebroadcast_seconds.time():
             updates = self.broadcast_manager.apply_pending_updates()
-        buckets = partition_records(records, self.partitioner)
+        buckets = partition_records(
+            records, self.partitioner, into=self._bucket_buffers
+        )
         if len(buckets) != len(self.workers):
             # zip() would silently drop trailing buckets (lost records)
             # or starve trailing workers; a partitioner that disagrees

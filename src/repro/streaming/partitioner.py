@@ -10,7 +10,7 @@ record tagged ``is_heartbeat`` to all partitions.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from .records import StreamRecord
 
@@ -54,11 +54,23 @@ class HeartbeatAwarePartitioner(HashPartitioner):
 def partition_records(
     records: Iterable[StreamRecord],
     partitioner: HashPartitioner,
+    into: Optional[List[List[StreamRecord]]] = None,
 ) -> List[List[StreamRecord]]:
-    """Split a micro-batch into per-partition record lists (order kept)."""
-    buckets: List[List[StreamRecord]] = [
-        [] for _ in range(partitioner.num_partitions)
-    ]
+    """Split a micro-batch into per-partition record lists (order kept).
+
+    ``into`` lets a caller recycle the bucket lists across micro-batches
+    (the streaming engine processes thousands of batches and the
+    per-batch list churn shows up in profiles).  It is reused only when
+    its length matches the partitioner's partition count — otherwise a
+    fresh list is allocated, so a partitioner that disagrees with its
+    context still surfaces the mismatch to the caller.
+    """
+    if into is not None and len(into) == partitioner.num_partitions:
+        buckets = into
+        for bucket in buckets:
+            bucket.clear()
+    else:
+        buckets = [[] for _ in range(partitioner.num_partitions)]
     for record in records:
         for idx in partitioner.partition(record):
             buckets[idx].append(record)

@@ -1,0 +1,64 @@
+"""Determinism tests for the seeded bench workloads and case catalog."""
+
+from __future__ import annotations
+
+from repro.bench import case_names, parser_workload, service_workload
+
+
+class TestParserWorkload:
+    def test_same_seed_same_bytes(self):
+        a = parser_workload(10, 80, seed=3)
+        b = parser_workload(10, 80, seed=3)
+        assert a.lines == b.lines
+        assert [t.signature for t in a.tokenized] == [
+            t.signature for t in b.tokenized
+        ]
+        assert [p.to_string() for p in a.model.patterns] == [
+            p.to_string() for p in b.model.patterns
+        ]
+
+    def test_different_seed_different_bytes(self):
+        a = parser_workload(10, 80, seed=3)
+        b = parser_workload(10, 80, seed=4)
+        assert a.lines != b.lines
+
+    def test_unique_shapes_are_unique_and_ordered(self):
+        workload = parser_workload(10, 80, seed=3)
+        shapes = workload.unique_shapes
+        signatures = [t.signature for t in shapes]
+        assert len(signatures) == len(set(signatures))
+        # First occurrence order is preserved.
+        seen = set()
+        expected = []
+        for tlog in workload.tokenized:
+            if tlog.signature not in seen:
+                seen.add(tlog.signature)
+                expected.append(tlog.signature)
+        assert signatures == expected
+
+
+class TestServiceWorkload:
+    def test_same_seed_same_stream(self):
+        a = service_workload(40, seed=11)
+        b = service_workload(40, seed=11)
+        assert a.lines == b.lines
+
+
+class TestCaseCatalog:
+    def test_quick_and_full_have_same_cases(self):
+        assert case_names(quick=True) == case_names(quick=False)
+
+    def test_expected_cases_present(self):
+        names = set(case_names(quick=True))
+        # The tentpole's three paper-critical hot paths plus the ratios.
+        assert {
+            "tokenizer",
+            "parser_indexed",
+            "parser_logstash",
+            "index_build",
+            "index_lookup",
+            "service_throughput",
+            "service_metrics_off",
+            "parser_speedup",
+            "service_metrics_overhead",
+        } <= names
