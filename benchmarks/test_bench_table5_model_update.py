@@ -82,7 +82,7 @@ def test_live_update_on_running_service(d1_dataset, d1_lens):
     # Every anomaly of the deleted automaton in the 2nd half is gone; the
     # total therefore falls between the reduced-model count and baseline.
     assert 13 <= after_count <= 21
-    stats = service.stats()
+    stats = service.report(include_metrics=False).counters()
     assert stats["downtime_seconds"] == 0.0
     assert stats["model_updates"] >= 3  # initial publish + delete
     report(

@@ -23,7 +23,13 @@ from .compare import (
     compare_results,
     load_results,
 )
-from .cases import build_cases, case_names, derive_ratio, run_bench
+from .cases import (
+    build_cases,
+    case_names,
+    derive_ratio,
+    grouped_case_names,
+    run_bench,
+)
 from .harness import (
     SCHEMA_VERSION,
     BenchCase,
@@ -36,10 +42,16 @@ from .harness import (
     summarize,
 )
 from .workloads import (
+    BusWorkload,
+    DetectorWorkload,
     ParserWorkload,
     ServiceWorkload,
+    StorageWorkload,
+    bus_workload,
+    detector_workload,
     parser_workload,
     service_workload,
+    storage_workload,
 )
 
 __all__ = [
@@ -55,6 +67,7 @@ __all__ = [
     "build_cases",
     "case_names",
     "derive_ratio",
+    "grouped_case_names",
     "run_bench",
     "DEFAULT_TOLERANCE",
     "CaseVerdict",
@@ -63,8 +76,14 @@ __all__ = [
     "compare_results",
     "compare_dirs",
     "load_results",
+    "BusWorkload",
+    "DetectorWorkload",
     "ParserWorkload",
     "ServiceWorkload",
+    "StorageWorkload",
+    "bus_workload",
+    "detector_workload",
     "parser_workload",
     "service_workload",
+    "storage_workload",
 ]

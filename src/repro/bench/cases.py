@@ -22,6 +22,20 @@ Primary cases (each emits one ``BENCH_<case>.json``):
     End-to-end :class:`~repro.service.loglens_service.LogLensService`
     micro-batch replay of D1 with metrics enabled / with the no-op
     :class:`~repro.obs.NullRegistry`.
+``storage_query``
+    Warm :class:`~repro.service.storage.AnomalyStorage` query mix —
+    ``by_source`` / ``by_type`` (hash-index shaped) and ``in_window``
+    (time-index shaped) over a large document set.
+``storage_insert``
+    Bulk ``insert_many`` into a fresh :class:`DocumentStore` with the
+    secondary indexes live (insert-path index maintenance included).
+``detector_sweep``
+    Steady-state heartbeat sweeps over a large population of open
+    events, none of which expire — the per-tick cost Section V-B's
+    heartbeat mechanism pays at scale.
+``bus_roundtrip``
+    Keyed batched produce plus consumer poll of the full topic through
+    :class:`~repro.service.bus.MessageBus`.
 
 Derived cases (computed from primary samples, no extra timing):
 
@@ -42,9 +56,18 @@ from ..obs import MetricsRegistry, NullRegistry
 from ..parsing.index import PatternIndex
 from ..parsing.parser import FastLogParser
 from ..parsing.tokenizer import Tokenizer
+from ..sequence.detector import LogSequenceDetector
+from ..service.bus import MessageBus
 from ..service.loglens_service import LogLensService
+from ..service.storage import AnomalyStorage, DocumentStore
 from .harness import BenchCase, CaseResult, run_case, summarize
-from .workloads import parser_workload, service_workload
+from .workloads import (
+    bus_workload,
+    detector_workload,
+    parser_workload,
+    service_workload,
+    storage_workload,
+)
 
 __all__ = [
     "QUICK_PARAMS",
@@ -53,6 +76,7 @@ __all__ = [
     "derive_ratio",
     "run_bench",
     "case_names",
+    "grouped_case_names",
 ]
 
 #: Workload sizes for the CI gate (seconds, not minutes).
@@ -61,6 +85,14 @@ QUICK_PARAMS: Dict[str, Any] = {
     "logs": 1200,
     "logstash_logs": 300,
     "events_per_workflow": 40,
+    # Data-plane quick sizes are chosen so each case's median lands in
+    # the tens-of-milliseconds range: the indexed paths are fast enough
+    # that smaller workloads measure scheduler noise, not the code.
+    "storage_docs": 12000,
+    "storage_queries": 400,
+    "detector_open_events": 5000,
+    "detector_heartbeats": 500,
+    "bus_records": 16000,
     "repeats": 3,
     "warmup": 1,
 }
@@ -71,6 +103,11 @@ FULL_PARAMS: Dict[str, Any] = {
     "logs": 6000,
     "logstash_logs": 800,
     "events_per_workflow": 160,
+    "storage_docs": 50000,
+    "storage_queries": 300,
+    "detector_open_events": 10000,
+    "detector_heartbeats": 100,
+    "bus_records": 20000,
     "repeats": 5,
     "warmup": 2,
 }
@@ -169,6 +206,7 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
             setup=setup_tokenizer,
             run=run_tokenizer,
             records=lambda lines: len(lines),
+            group="parser",
         ),
         BenchCase(
             name="parser_indexed",
@@ -177,6 +215,7 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
             run=run_indexed,
             records=lambda s: len(s[1]),
             check=check_indexed,
+            group="parser",
         ),
         BenchCase(
             name="parser_logstash",
@@ -184,6 +223,7 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
             setup=setup_logstash,
             run=run_logstash,
             records=lambda s: len(s[1]),
+            group="parser",
         ),
         BenchCase(
             name="index_build",
@@ -191,6 +231,7 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
             setup=setup_index_build,
             run=run_index_build,
             records=lambda s: len(s[1]),
+            group="parser",
         ),
         BenchCase(
             name="index_lookup",
@@ -199,6 +240,7 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
             run=run_index_lookup,
             records=lambda s: len(s[1]),
             check=check_index_lookup,
+            group="parser",
         ),
     ]
 
@@ -247,6 +289,7 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
             run=run_metrics_on,
             records=lambda w: len(w.lines),
             check=check_drained,
+            group="service",
         ),
         BenchCase(
             name="service_metrics_off",
@@ -255,6 +298,155 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
             run=run_metrics_off,
             records=lambda w: len(w.lines),
             check=check_drained,
+            group="service",
+        ),
+    ]
+
+
+def _data_plane_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    """Storage, detector, and bus cases — the stateful data plane."""
+    storage_docs = params["storage_docs"]
+    storage_queries = params["storage_queries"]
+    open_events = params["detector_open_events"]
+    heartbeats = params["detector_heartbeats"]
+    bus_records = params["bus_records"]
+
+    def query_mix(storage, w):
+        hits = 0
+        for i, (lo, hi) in enumerate(w.windows):
+            hits += len(storage.by_source(w.sources[i % len(w.sources)]))
+            hits += len(storage.in_window(lo, hi))
+            if i % 4 == 0:
+                hits += len(storage.by_type(w.types[i % len(w.types)]))
+        return hits
+
+    def setup_storage_query():
+        w = storage_workload(storage_docs, storage_queries)
+        storage = AnomalyStorage()
+        for doc in w.docs:
+            storage.store(doc)
+        expected = query_mix(storage, w)  # also warms lazy indexes
+        return (storage, w, expected)
+
+    def run_storage_query(state):
+        storage, w, _ = state
+        return query_mix(storage, w)
+
+    def check_storage_query(state, hits):
+        _, _, expected = state
+        if hits != expected:
+            raise AssertionError(
+                "storage_query: %d hits, expected %d" % (hits, expected)
+            )
+
+    def setup_storage_insert():
+        return storage_workload(storage_docs, 1).docs
+
+    def run_storage_insert(docs):
+        store = DocumentStore()
+        # Touch the queried fields first so the timed insert pays the
+        # full index-maintenance cost a live store pays.
+        store.query(match={"source": "src-0"})
+        store.query(range_=("timestamp_millis", 0, 0))
+        store.insert_many(docs)
+        return store
+
+    def check_storage_insert(docs, store):
+        if store.count() != len(docs):
+            raise AssertionError(
+                "storage_insert: stored %d of %d docs"
+                % (store.count(), len(docs))
+            )
+
+    def setup_detector_sweep():
+        w = detector_workload(open_events, heartbeats)
+        detector = LogSequenceDetector(w.model)
+        detector.process_many(w.open_logs)
+        return (detector, w)
+
+    def run_detector_sweep(state):
+        detector, w = state
+        expired = 0
+        for now in w.heartbeats:
+            expired += len(detector.process_heartbeat(now))
+        return expired
+
+    def check_detector_sweep(state, expired):
+        detector, w = state
+        if expired:
+            raise AssertionError(
+                "detector_sweep: %d events expired inside the window"
+                % expired
+            )
+        if detector.open_event_count != len(w.open_logs):
+            raise AssertionError(
+                "detector_sweep: %d open events, expected %d"
+                % (detector.open_event_count, len(w.open_logs))
+            )
+
+    def setup_bus():
+        return bus_workload(bus_records)
+
+    def run_bus(w):
+        bus = MessageBus(metrics=MetricsRegistry())
+        bus.ensure_topic("bench.bus", partitions=4)
+        for key, values in w.batches:
+            bus.produce_many("bench.bus", values, key=key)
+        consumer = bus.consumer("bench.bus", group="bench")
+        consumed = 0
+        while True:
+            got = consumer.poll(max_records=2048)
+            if not got:
+                break
+            consumed += len(got)
+        return consumed
+
+    def check_bus(w, consumed):
+        if consumed != w.total:
+            raise AssertionError(
+                "bus_roundtrip: consumed %d of %d records"
+                % (consumed, w.total)
+            )
+
+    return [
+        BenchCase(
+            name="storage_query",
+            params={"docs": storage_docs, "queries": storage_queries},
+            setup=setup_storage_query,
+            run=run_storage_query,
+            records=lambda s: len(s[1].windows),
+            check=check_storage_query,
+            group="storage",
+        ),
+        BenchCase(
+            name="storage_insert",
+            params={"docs": storage_docs},
+            setup=setup_storage_insert,
+            run=run_storage_insert,
+            records=lambda docs: len(docs),
+            check=check_storage_insert,
+            group="storage",
+        ),
+        BenchCase(
+            name="detector_sweep",
+            params={
+                "open_events": open_events,
+                "heartbeats": heartbeats,
+            },
+            setup=setup_detector_sweep,
+            run=run_detector_sweep,
+            records=lambda s: len(s[1].heartbeats),
+            check=check_detector_sweep,
+            group="detector",
+        ),
+        BenchCase(
+            name="bus_roundtrip",
+            params={"records": bus_records},
+            setup=setup_bus,
+            run=run_bus,
+            records=lambda w: w.total,
+            check=check_bus,
+            group="bus",
         ),
     ]
 
@@ -262,7 +454,11 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
 def build_cases(quick: bool = False) -> List[BenchCase]:
     """The primary case catalog at quick (CI) or full (local) size."""
     params = QUICK_PARAMS if quick else FULL_PARAMS
-    return _parser_cases(params) + _service_cases(params)
+    return (
+        _parser_cases(params)
+        + _service_cases(params)
+        + _data_plane_cases(params)
+    )
 
 
 def derive_ratio(
@@ -330,10 +526,31 @@ def _derived(results: List[CaseResult]) -> List[CaseResult]:
     return out
 
 
+#: Derived (ratio) cases and the subsystem each one belongs to.
+_DERIVED_GROUPS: Dict[str, str] = {
+    "parser_speedup": "parser",
+    "service_metrics_overhead": "service",
+}
+
+
 def case_names(quick: bool = False) -> List[str]:
     """Every artifact name a full suite run produces, in order."""
     names = [c.name for c in build_cases(quick)]
-    return names + ["parser_speedup", "service_metrics_overhead"]
+    return names + list(_DERIVED_GROUPS)
+
+
+def grouped_case_names(quick: bool = False) -> Dict[str, List[str]]:
+    """The catalog keyed by subsystem (``loglens bench --list``).
+
+    Groups appear in first-case order; derived ratio cases are listed
+    under the subsystem of their numerator.
+    """
+    groups: Dict[str, List[str]] = {}
+    for case in build_cases(quick):
+        groups.setdefault(case.group, []).append(case.name)
+    for name, group in _DERIVED_GROUPS.items():
+        groups.setdefault(group, []).append(name)
+    return groups
 
 
 def run_bench(

@@ -143,6 +143,8 @@ class BenchCase:
     check: Optional[Callable[[Any, Any], None]] = None
     unit: str = "seconds"
     better: str = "lower"
+    #: Subsystem the case exercises (``loglens bench --list`` grouping).
+    group: str = "general"
 
 
 def current_git_sha() -> str:

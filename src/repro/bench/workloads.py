@@ -9,25 +9,39 @@ the precondition for comparing artifacts across commits.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Tuple
 
 from ..datasets.corpora import _NETWORK_VOCAB, generate_corpus
 from ..datasets.trace import generate_d1
 from ..parsing.logmine import PatternDiscoverer
-from ..parsing.parser import PatternModel
+from ..parsing.parser import ParsedLog, PatternModel
 from ..parsing.tokenizer import TokenizedLog, Tokenizer
+from ..sequence.automata import Automaton, StateRule
+from ..sequence.model import SequenceModel
 from ..service.model_builder import BuiltModels, ModelBuilder
 
 __all__ = [
     "ParserWorkload",
     "ServiceWorkload",
+    "StorageWorkload",
+    "DetectorWorkload",
+    "BusWorkload",
     "parser_workload",
     "service_workload",
+    "storage_workload",
+    "detector_workload",
+    "bus_workload",
 ]
 
 #: Seed for the parser-path corpus; fixed forever so artifacts compare.
 PARSER_SEED = 97
+
+#: Seeds for the data-plane workloads; fixed forever so artifacts compare.
+STORAGE_SEED = 41
+DETECTOR_SEED = 73
+BUS_SEED = 59
 
 
 @dataclass
@@ -85,3 +99,132 @@ def service_workload(events_per_workflow: int, seed: int = 7) -> ServiceWorkload
     dataset = generate_d1(events_per_workflow=events_per_workflow, seed=seed)
     models = ModelBuilder().build(dataset.train)
     return ServiceWorkload(lines=list(dataset.test), models=models)
+
+
+@dataclass
+class StorageWorkload:
+    """Anomaly-shaped documents plus a deterministic query schedule."""
+
+    docs: List[Dict[str, Any]]
+    sources: List[str]
+    types: List[str]
+    #: Inclusive ``(start, end)`` windows over ``timestamp_millis``.
+    windows: List[Tuple[int, int]]
+
+
+def storage_workload(
+    n_docs: int, n_queries: int, seed: int = STORAGE_SEED
+) -> StorageWorkload:
+    """Documents with the fields the storage tier actually queries.
+
+    The shape mirrors what :class:`~repro.service.storage.AnomalyStorage`
+    holds: a small bounded set of sources and anomaly types (hash-index
+    shaped) plus a monotonically drifting timestamp (time-index shaped).
+    """
+    rng = random.Random(seed)
+    sources = ["src-%d" % i for i in range(8)]
+    types = [
+        "missing_end",
+        "missing_begin",
+        "occurrence_violation",
+        "duration_violation",
+    ]
+    docs: List[Dict[str, Any]] = []
+    ts = 0
+    for i in range(n_docs):
+        ts += rng.randint(1, 20)
+        docs.append(
+            {
+                "source": rng.choice(sources),
+                "type": rng.choice(types),
+                "timestamp_millis": ts,
+                "severity": rng.randint(0, 3),
+                "reason": "reason-%d" % (i % 97),
+            }
+        )
+    span = max(ts, 1)
+    width = max(1, span // 50)
+    windows = []
+    for _ in range(n_queries):
+        lo = rng.randint(0, span - 1)
+        windows.append((lo, min(span, lo + width)))
+    return StorageWorkload(
+        docs=docs, sources=sources, types=types, windows=windows
+    )
+
+
+@dataclass
+class DetectorWorkload:
+    """A sequence model, logs that open events, and a heartbeat schedule."""
+
+    model: SequenceModel
+    open_logs: List[ParsedLog]
+    heartbeats: List[int]
+
+
+def detector_workload(
+    n_open_events: int, n_heartbeats: int, seed: int = DETECTOR_SEED
+) -> DetectorWorkload:
+    """``n_open_events`` in-flight events swept by ``n_heartbeats`` beats.
+
+    Every heartbeat lands *inside* every event's expiry window, so a sweep
+    finds nothing to expire — the steady-state cost the service pays on
+    every tick.  Timestamps are deliberately 1 ms apart so the whole
+    schedule fits far below the expiry deadline of the oldest event.
+    """
+    automaton = Automaton(
+        automaton_id=1,
+        id_fields={1: "id", 2: "id"},
+        begin_states=frozenset({1}),
+        end_states=frozenset({2}),
+        states={
+            1: StateRule(1, 1, 1),
+            2: StateRule(2, 1, 1),
+        },
+        min_duration_millis=0,
+        max_duration_millis=60_000,
+    )
+    rng = random.Random(seed)
+    ids = list(range(n_open_events))
+    rng.shuffle(ids)
+    open_logs = [
+        ParsedLog(
+            raw="begin event-%d" % eid,
+            pattern_id=1,
+            fields={"id": "event-%d" % eid},
+            timestamp_millis=i,
+            source="bench",
+        )
+        for i, eid in enumerate(ids)
+    ]
+    heartbeats = [n_open_events + j for j in range(n_heartbeats)]
+    return DetectorWorkload(
+        model=SequenceModel([automaton]),
+        open_logs=open_logs,
+        heartbeats=heartbeats,
+    )
+
+
+@dataclass
+class BusWorkload:
+    """Keyed record batches for the broker round-trip case."""
+
+    #: ``(key, values)`` batches, one per producing source.
+    batches: List[Tuple[str, List[Dict[str, Any]]]]
+    total: int
+
+
+def bus_workload(n_records: int, seed: int = BUS_SEED) -> BusWorkload:
+    """``n_records`` small keyed records split across eight sources."""
+    rng = random.Random(seed)
+    keys = ["src-%d" % i for i in range(8)]
+    batches = [(key, []) for key in keys]
+    for i in range(n_records):
+        key_index = rng.randrange(len(keys))
+        batches[key_index][1].append(
+            {"raw": "record %d from %s" % (i, keys[key_index]),
+             "source": keys[key_index]}
+        )
+    return BusWorkload(
+        batches=[(k, v) for k, v in batches if v], total=n_records
+    )

@@ -230,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--list", action="store_true", dest="list_cases",
-        help="list the case catalog and exit",
+        help="list the case catalog grouped by subsystem and exit",
     )
 
     quality = sub.add_parser(
@@ -346,8 +346,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             service.step()
             docs = service.anomaly_storage.all()
             for doc in docs[reported:]:
-                doc.pop("_id", None)
-                print(json.dumps(doc, sort_keys=True), flush=True)
+                out = dict(doc)
+                out.pop("_id", None)
+                print(json.dumps(out, sort_keys=True), flush=True)
             reported = len(docs)
             if args.max_polls is None or polls < args.max_polls:
                 time.sleep(args.poll_seconds)
@@ -518,11 +519,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the deterministic benchmark suite; optionally gate on it."""
-    from .bench import case_names, compare_results, load_results, run_bench
+    from .bench import (
+        compare_results,
+        grouped_case_names,
+        load_results,
+        run_bench,
+    )
 
     if args.list_cases:
-        for name in case_names(quick=args.quick):
-            print(name)
+        for group, names in grouped_case_names(quick=args.quick).items():
+            print("%s:" % group)
+            for name in names:
+                print("  %s" % name)
         return 0
     results = run_bench(
         quick=args.quick,

@@ -12,6 +12,12 @@ Time is **log time**: the detector's clock only advances with embedded log
 timestamps and heartbeat messages (which the heartbeat controller
 extrapolates from the last observed log), never with the wall clock.
 
+Expiry is scheduled on a min-heap keyed by ``(deadline, key)`` with lazy
+invalidation, so a heartbeat touches only the events that actually
+expired instead of scanning every open event.  The linear scan survives
+as ``sweep="linear"`` — the oracle the equivalence tests compare the
+heap against; both emit expired events in open-map insertion order.
+
 One :class:`~repro.core.anomaly.Anomaly` is emitted per anomalous event;
 its type is the highest-priority violated rule and ``details["violations"]``
 lists every violation, so "anomaly count" equals "anomalous sequences" —
@@ -20,6 +26,7 @@ the quantity Figures 4 and 5 of the paper report.
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -136,6 +143,10 @@ class LogSequenceDetector:
     min_expiry_millis:
         Lower bound on the expiry window, covering automata whose learned
         max duration is ~0 (default 1000).
+    sweep:
+        Expiry-sweep strategy: ``"heap"`` (default) pops due deadlines
+        off a lazily-invalidated min-heap; ``"linear"`` scans every open
+        event per heartbeat — kept as the oracle for equivalence tests.
 
     Notes
     -----
@@ -150,18 +161,33 @@ class LogSequenceDetector:
         expiry_factor: float = 2.0,
         min_expiry_millis: int = 1000,
         severity_policy: Optional[SeverityPolicy] = None,
+        sweep: str = "heap",
     ) -> None:
         if expiry_factor <= 0:
             raise ValueError("expiry_factor must be positive")
+        if sweep not in ("heap", "linear"):
+            raise ValueError("sweep must be 'heap' or 'linear'")
         self._model = model
         self.expiry_factor = expiry_factor
         self.min_expiry_millis = min_expiry_millis
+        self.sweep_strategy = sweep
         self.severity_policy = (
             severity_policy
             if severity_policy is not None
             else DefaultSeverityPolicy()
         )
         self._open: Dict[Tuple[int, str], OpenEvent] = {}
+        # Expiry schedule: min-heap of (deadline, seq, key) with lazy
+        # invalidation — an entry is live only while it matches
+        # _deadlines[key].  _seqs orders keys by open-map insertion so
+        # the heap sweep emits expirations in the same order the linear
+        # oracle would.  Events with no log time never get a deadline
+        # (the linear rule: reference falls back to `now`, so they can
+        # never be overdue).
+        self._heap: List[Tuple[int, int, Tuple[int, str]]] = []
+        self._deadlines: Dict[Tuple[int, str], int] = {}
+        self._seqs: Dict[Tuple[int, str], int] = {}
+        self._seq_counter = 0
         self._log_clock: Optional[int] = None
         self.stats = DetectorStats()
 
@@ -175,7 +201,9 @@ class LogSequenceDetector:
         """Swap the sequence model (the Section V-A update path).
 
         Open events of automata that no longer exist are dropped — their
-        rules are gone, so they can never be validated.
+        rules are gone, so they can never be validated.  Surviving
+        events get their expiry deadlines recomputed against the new
+        model's windows.
         """
         self._model = model
         valid_ids = {a.automaton_id for a in model.automata}
@@ -184,11 +212,18 @@ class LogSequenceDetector:
             for key, ev in self._open.items()
             if ev.automaton_id in valid_ids
         }
+        self._seqs = {key: self._seqs[key] for key in self._open}
+        self._rebuild_heap()
 
     @property
     def open_event_count(self) -> int:
         """Number of in-flight events currently held in memory."""
         return len(self._open)
+
+    @property
+    def expiry_heap_depth(self) -> int:
+        """Entries (live + stale) currently on the expiry heap."""
+        return len(self._heap)
 
     def get_parent_state_map(self) -> Dict[Tuple[int, str], OpenEvent]:
         """Direct reference to the open-state map.
@@ -232,7 +267,9 @@ class LogSequenceDetector:
         for doc in snapshot.get("open_events", []):
             event = OpenEvent.from_document(doc)
             if event.automaton_id in valid:
-                detector._open[(event.automaton_id, event.content)] = event
+                key = (event.automaton_id, event.content)
+                detector._open[key] = event
+                detector._track(key, event)
         return detector
 
     # ------------------------------------------------------------------
@@ -256,14 +293,19 @@ class LogSequenceDetector:
                     automaton_id=automaton.automaton_id, content=content
                 )
                 self._open[key] = event
+                self._seqs[key] = self._seq_counter
+                self._seq_counter += 1
             is_end = log.pattern_id in automaton.end_states
             event.absorb(log, is_end)
             if is_end:
                 del self._open[key]
+                self._forget(key)
                 self.stats.events_finalized += 1
                 anomaly = self._validate(automaton, event, expired=False)
                 if anomaly is not None:
                     anomalies.append(anomaly)
+            else:
+                self._schedule(key, event, automaton)
         return anomalies
 
     def process_many(self, logs: Iterable[ParsedLog]) -> List[Anomaly]:
@@ -293,6 +335,9 @@ class LogSequenceDetector:
             anomaly = self._validate(automaton, event, expired=True)
             if anomaly is not None:
                 anomalies.append(anomaly)
+        self._heap.clear()
+        self._deadlines.clear()
+        self._seqs.clear()
         return anomalies
 
     # ------------------------------------------------------------------
@@ -306,7 +351,91 @@ class LogSequenceDetector:
             self.min_expiry_millis,
         )
 
+    # ------------------------------------------------------------------
+    # Expiry scheduling (the heap behind the Section V-B sweep)
+    # ------------------------------------------------------------------
+    def _track(self, key: Tuple[int, str], event: OpenEvent) -> None:
+        """Register a restored event: insertion seq + expiry deadline."""
+        if key not in self._seqs:
+            self._seqs[key] = self._seq_counter
+            self._seq_counter += 1
+        self._schedule(key, event, self._model.get(event.automaton_id))
+
+    def _schedule(
+        self,
+        key: Tuple[int, str],
+        event: OpenEvent,
+        automaton: Automaton,
+    ) -> None:
+        """(Re)compute ``key``'s deadline; push a heap entry if it moved.
+
+        Superseded entries stay on the heap and are discarded when
+        popped (``_deadlines`` holds the only live deadline per key).
+        """
+        if event.last_time is None:
+            # Linear-sweep rule: no log time means the reference falls
+            # back to `now`, so the event can never be overdue.
+            self._deadlines.pop(key, None)
+            return
+        deadline = event.last_time + self._expiry_window(automaton)
+        if self._deadlines.get(key) == deadline:
+            return
+        self._deadlines[key] = deadline
+        heapq.heappush(self._heap, (deadline, self._seqs[key], key))
+        if len(self._heap) > 64 and len(self._heap) > 4 * len(self._open):
+            self._rebuild_heap()
+
+    def _forget(self, key: Tuple[int, str]) -> None:
+        self._deadlines.pop(key, None)
+        self._seqs.pop(key, None)
+
+    def _rebuild_heap(self) -> None:
+        """Drop stale entries by rebuilding the heap from live deadlines."""
+        self._deadlines = {}
+        self._heap = []
+        for key, event in self._open.items():
+            if event.last_time is None:
+                continue
+            automaton = self._model.get(event.automaton_id)
+            deadline = event.last_time + self._expiry_window(automaton)
+            self._deadlines[key] = deadline
+            self._heap.append((deadline, self._seqs[key], key))
+        heapq.heapify(self._heap)
+
     def _sweep(self, now_millis: int) -> List[Anomaly]:
+        if self.sweep_strategy == "linear":
+            return self._sweep_linear(now_millis)
+        return self._sweep_heap(now_millis)
+
+    def _sweep_heap(self, now_millis: int) -> List[Anomaly]:
+        heap = self._heap
+        expired: List[Tuple[int, Tuple[int, str]]] = []
+        while heap and heap[0][0] < now_millis:
+            deadline, seq, key = heapq.heappop(heap)
+            if self._deadlines.get(key) != deadline:
+                continue  # superseded or already closed: stale entry
+            expired.append((seq, key))
+        # Emit in open-map insertion order — exactly what the linear
+        # oracle produces — not deadline order.
+        expired.sort()
+        anomalies: List[Anomaly] = []
+        for _, key in expired:
+            # pop with default: the map is exposed via
+            # get_parent_state_map, so a key may vanish externally.
+            event = self._open.pop(key, None)
+            if event is None:
+                self._forget(key)
+                continue
+            self._forget(key)
+            self.stats.events_expired += 1
+            automaton = self._model.get(event.automaton_id)
+            anomaly = self._validate(automaton, event, expired=True)
+            if anomaly is not None:
+                anomalies.append(anomaly)
+        return anomalies
+
+    def _sweep_linear(self, now_millis: int) -> List[Anomaly]:
+        """The original full-scan sweep — the equivalence-test oracle."""
         anomalies: List[Anomaly] = []
         for key in list(self._open):
             event = self._open[key]
@@ -318,6 +447,7 @@ class LogSequenceDetector:
             )
             if now_millis - reference > self._expiry_window(automaton):
                 del self._open[key]
+                self._forget(key)
                 self.stats.events_expired += 1
                 anomaly = self._validate(automaton, event, expired=True)
                 if anomaly is not None:

@@ -6,6 +6,15 @@ system relies on: named topics with partitions, append-only partition
 logs, offset-tracking consumers with consumer groups, and keyed produce
 for co-partitioning.  Everything is process-local and thread-safe.
 
+**Batched hot path**: :meth:`MessageBus.produce_many` /
+:meth:`MessageBus.produce_batch` append a whole batch under a single
+lock acquisition, and :meth:`Consumer.poll_many` drains one under a
+single acquisition on the consume side; the per-record methods are thin
+wrappers over the same locked helpers, so batch and single-record
+produce interleave with identical ordering semantics.  Metric handles
+are resolved once per topic/group and cached — the broker never does a
+registry lookup per record.
+
 **Dead-letter topics**: records that exhaust the streaming engine's
 retry budget are quarantined via :meth:`MessageBus.produce_failed`, which
 wraps the value in a failure envelope and appends it to the origin's
@@ -19,7 +28,7 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import TopicNotFoundError
 from ..obs import MetricsRegistry, get_registry
@@ -60,6 +69,9 @@ class _Topic:
     def __init__(self, name: str, partitions: int) -> None:
         self.name = name
         self.partitions: List[List[Message]] = [[] for _ in range(partitions)]
+        #: Records ever appended — drives keyless round-robin without
+        #: summing partition lengths per produce.
+        self.total_records = 0
 
     @property
     def partition_count(self) -> int:
@@ -75,6 +87,13 @@ class MessageBus:
         # (group, topic, partition) -> committed offset
         self._group_offsets: Dict[Tuple[str, str, int], int] = {}
         self._metrics = metrics if metrics is not None else get_registry()
+        # Cached metric handles (registry lookups are dict-plus-lock
+        # operations; the hot path resolves each label set once).
+        self._c_produced: Dict[str, Any] = {}
+        self._c_consumed: Dict[Tuple[str, str], Any] = {}
+        self._c_dead_lettered: Dict[str, Any] = {}
+        self._g_lag: Dict[Tuple[str, str, int], Any] = {}
+        self._g_dl_depth: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def create_topic(self, name: str, partitions: int = 1) -> None:
@@ -103,31 +122,61 @@ class MessageBus:
         """Append a record; keyed records land on a stable partition."""
         with self._lock:
             t = self._get_topic(topic)
-            if key is None:
-                # Round-robin by total record count for keyless produce.
-                total = sum(len(p) for p in t.partitions)
-                partition = total % t.partition_count
-            else:
-                partition = (
-                    zlib.crc32(key.encode("utf-8")) % t.partition_count
-                )
-            log = t.partitions[partition]
-            message = Message(
-                topic=topic,
-                partition=partition,
-                offset=len(log),
-                key=key,
-                value=value,
-            )
-            log.append(message)
-            self._metrics.counter("bus.produced", topic=topic).inc()
+            message = self._append_locked(t, value, key)
+            self._produced_counter(topic).inc()
             return message
 
     def produce_many(
         self, topic: str, values: List[Any], key: Optional[str] = None
-    ) -> None:
-        for value in values:
-            self.produce(topic, value, key=key)
+    ) -> List[Message]:
+        """Append a batch under one lock acquisition (shared key).
+
+        Ordering is identical to calling :meth:`produce` per value.
+        """
+        with self._lock:
+            t = self._get_topic(topic)
+            out = [self._append_locked(t, value, key) for value in values]
+            if out:
+                self._produced_counter(topic).inc(len(out))
+            return out
+
+    def produce_batch(
+        self, topic: str, records: Iterable[Tuple[Any, Optional[str]]]
+    ) -> List[Message]:
+        """Append ``(value, key)`` pairs under one lock acquisition.
+
+        The per-key variant of :meth:`produce_many`, for batches that
+        mix keys (e.g. the log-manager forwarding path).  Ordering is
+        identical to calling :meth:`produce` per pair.
+        """
+        with self._lock:
+            t = self._get_topic(topic)
+            out = [
+                self._append_locked(t, value, key) for value, key in records
+            ]
+            if out:
+                self._produced_counter(topic).inc(len(out))
+            return out
+
+    def _append_locked(
+        self, t: _Topic, value: Any, key: Optional[str]
+    ) -> Message:
+        if key is None:
+            # Round-robin by total record count for keyless produce.
+            partition = t.total_records % t.partition_count
+        else:
+            partition = zlib.crc32(key.encode("utf-8")) % t.partition_count
+        log = t.partitions[partition]
+        message = Message(
+            topic=t.name,
+            partition=partition,
+            offset=len(log),
+            key=key,
+            value=value,
+        )
+        log.append(message)
+        t.total_records += 1
+        return message
 
     # ------------------------------------------------------------------
     def consumer(self, topic: str, group: str) -> "Consumer":
@@ -150,6 +199,37 @@ class MessageBus:
         if topic is None:
             raise TopicNotFoundError(name, known=list(self._topics))
         return topic
+
+    # ------------------------------------------------------------------
+    # Cached metric handles
+    # ------------------------------------------------------------------
+    def _produced_counter(self, topic: str):
+        counter = self._c_produced.get(topic)
+        if counter is None:
+            counter = self._metrics.counter("bus.produced", topic=topic)
+            self._c_produced[topic] = counter
+        return counter
+
+    def _consumed_counter(self, topic: str, group: str):
+        counter = self._c_consumed.get((topic, group))
+        if counter is None:
+            counter = self._metrics.counter(
+                "bus.consumed", topic=topic, group=group
+            )
+            self._c_consumed[(topic, group)] = counter
+        return counter
+
+    def _lag_gauge(self, topic: str, group: str, partition: int):
+        gauge = self._g_lag.get((topic, group, partition))
+        if gauge is None:
+            gauge = self._metrics.gauge(
+                "bus.consumer_lag",
+                topic=topic,
+                group=group,
+                partition=str(partition),
+            )
+            self._g_lag[(topic, group, partition)] = gauge
+        return gauge
 
     # ------------------------------------------------------------------
     # Dead-letter topics (quarantine transport)
@@ -185,12 +265,17 @@ class MessageBus:
             "metadata": dict(metadata or {}),
         }
         topic = dead_letter_topic(origin_topic)
-        self.ensure_topic(topic)
-        message = self.produce(topic, envelope, key=key)
-        self._metrics.counter(
-            "bus.dead_lettered", topic=origin_topic
-        ).inc()
-        self._refresh_dead_letter_gauge(origin_topic)
+        with self._lock:
+            self.ensure_topic(topic)
+            message = self.produce(topic, envelope, key=key)
+            counter = self._c_dead_lettered.get(origin_topic)
+            if counter is None:
+                counter = self._metrics.counter(
+                    "bus.dead_lettered", topic=origin_topic
+                )
+                self._c_dead_lettered[origin_topic] = counter
+            counter.inc()
+            self._refresh_dead_letter_gauge(origin_topic)
         return message
 
     def dead_letter_topics(self) -> List[str]:
@@ -204,21 +289,23 @@ class MessageBus:
 
     def dead_letter_depth(self, origin_topic: Optional[str] = None) -> int:
         """Quarantined records not yet drained (one origin, or all)."""
-        origins = (
-            [origin_topic]
-            if origin_topic is not None
-            else self.dead_letter_topics()
+        with self._lock:
+            origins = (
+                [origin_topic]
+                if origin_topic is not None
+                else self.dead_letter_topics()
+            )
+            return sum(self._dl_depth_locked(origin) for origin in origins)
+
+    def _dl_depth_locked(self, origin: str) -> int:
+        t = self._topics.get(dead_letter_topic(origin))
+        if t is None:
+            return 0
+        return sum(
+            len(t.partitions[p])
+            - self._group_offsets.get((DEAD_LETTER_GROUP, t.name, p), 0)
+            for p in range(t.partition_count)
         )
-        depth = 0
-        for origin in origins:
-            topic = dead_letter_topic(origin)
-            with self._lock:
-                if topic not in self._topics:
-                    continue
-            ends = self.end_offsets(topic)
-            committed = self.committed(topic, DEAD_LETTER_GROUP)
-            depth += sum(e - c for e, c in zip(ends, committed))
-        return depth
 
     def drain_dead_letters(
         self,
@@ -229,27 +316,33 @@ class MessageBus:
 
         Draining advances the shared :data:`DEAD_LETTER_GROUP` offsets,
         so each quarantined record is handed out exactly once — the
-        hand-off point for reprocessing or archival tooling.
+        hand-off point for reprocessing or archival tooling.  Each
+        origin is drained under a single lock acquisition.
         """
-        origins = (
-            [origin_topic]
-            if origin_topic is not None
-            else self.dead_letter_topics()
-        )
-        out: List[Message] = []
-        for origin in origins:
-            topic = dead_letter_topic(origin)
-            with self._lock:
+        with self._lock:
+            origins = (
+                [origin_topic]
+                if origin_topic is not None
+                else self.dead_letter_topics()
+            )
+            out: List[Message] = []
+            for origin in origins:
+                topic = dead_letter_topic(origin)
                 if topic not in self._topics:
                     continue
-            out.extend(self._poll(topic, DEAD_LETTER_GROUP, max_records))
-            self._refresh_dead_letter_gauge(origin)
-        return out
+                out.extend(self._poll(topic, DEAD_LETTER_GROUP, max_records))
+                self._refresh_dead_letter_gauge(origin)
+            return out
 
     def _refresh_dead_letter_gauge(self, origin_topic: str) -> None:
-        self._metrics.gauge(
-            "bus.dead_letter_depth", topic=origin_topic
-        ).set(self.dead_letter_depth(origin_topic))
+        with self._lock:
+            gauge = self._g_dl_depth.get(origin_topic)
+            if gauge is None:
+                gauge = self._metrics.gauge(
+                    "bus.dead_letter_depth", topic=origin_topic
+                )
+                self._g_dl_depth[origin_topic] = gauge
+            gauge.set(self._dl_depth_locked(origin_topic))
 
     # ------------------------------------------------------------------
     def _poll(
@@ -267,18 +360,13 @@ class MessageBus:
                 new_offset = offset + len(take)
                 self._group_offsets[key] = new_offset
                 # Per-topic-partition consumer lag, refreshed on poll.
-                self._metrics.gauge(
-                    "bus.consumer_lag",
-                    topic=topic,
-                    group=group,
-                    partition=str(partition),
-                ).set(len(log) - new_offset)
+                self._lag_gauge(topic, group, partition).set(
+                    len(log) - new_offset
+                )
                 if len(out) >= max_records:
                     break
             if out:
-                self._metrics.counter(
-                    "bus.consumed", topic=topic, group=group
-                ).inc(len(out))
+                self._consumed_counter(topic, group).inc(len(out))
             return out
 
     def committed(self, topic: str, group: str) -> List[int]:
@@ -300,6 +388,15 @@ class Consumer:
 
     def poll(self, max_records: int = 1000) -> List[Message]:
         """Fetch up to ``max_records`` new records and advance offsets."""
+        return self._bus._poll(self.topic, self.group, max_records)
+
+    def poll_many(self, max_records: int = 10000) -> List[Message]:
+        """Batch poll: drain a large batch under one lock acquisition.
+
+        Identical semantics to :meth:`poll` with a batch-sized default —
+        the consume-side counterpart of
+        :meth:`MessageBus.produce_many`.
+        """
         return self._bus._poll(self.topic, self.group, max_records)
 
     def lag(self) -> int:

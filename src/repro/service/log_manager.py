@@ -70,23 +70,26 @@ class LogManager:
 
         Returns the number of logs forwarded to the parser topic.
         """
-        messages = self._consumer.poll(max_records=self.max_rate_per_cycle)
+        messages = self._consumer.poll_many(
+            max_records=self.max_rate_per_cycle
+        )
         self.stats.received += len(messages)
         self.stats.deferred = self._consumer.lag()
-        forwarded = 0
+        entries = []
+        outgoing = []
         for message in messages:
             payload = message.value
             raw = payload["raw"]
             source = self._identify_source(payload)
-            self.log_storage.store(
-                raw, source, timestamp_millis=self._event_time(raw)
-            )
-            self.bus.produce(
-                self.out_topic,
-                {"raw": raw, "source": source},
-                key=source,
-            )
-            forwarded += 1
+            entries.append((raw, source, self._event_time(raw)))
+            outgoing.append(({"raw": raw, "source": source}, source))
+        if entries:
+            # Archive and forward the whole cycle as two batched calls
+            # (one storage lock, one bus lock) instead of two lock
+            # round-trips per record.
+            self.log_storage.store_batch(entries)
+            self.bus.produce_batch(self.out_topic, outgoing)
+        forwarded = len(entries)
         self.stats.forwarded += forwarded
         return forwarded
 

@@ -203,9 +203,9 @@ class LogLensService:
         self.bus = MessageBus(metrics=self.metrics)
         self.bus.ensure_topic("logs.raw", partitions=num_partitions)
         self.bus.ensure_topic("logs.ingest", partitions=num_partitions)
-        self.log_storage = LogStorage()
+        self.log_storage = LogStorage(metrics=self.metrics)
         self.model_storage = ModelStorage()
-        self.anomaly_storage = AnomalyStorage()
+        self.anomaly_storage = AnomalyStorage(metrics=self.metrics)
         self.log_manager = LogManager(self.bus, self.log_storage)
         self._ingest_consumer = self.bus.consumer(
             "logs.ingest", group="loglens-parser"
@@ -236,6 +236,9 @@ class LogLensService:
         self._m_partition_sweep = self.metrics.histogram(
             "heartbeat.partition_sweep_seconds"
         )
+        # Per-partition detector gauges, resolved once per partition.
+        self._g_open_events: Dict[int, Any] = {}
+        self._g_heap_depth: Dict[int, Any] = {}
         self._pattern_bv = self.parse_ctx.broadcast(PatternModel([]))
         self._sequence_bv = self.seq_ctx.broadcast(SequenceModel([]))
 
@@ -354,6 +357,7 @@ class LogLensService:
             )
             if anomalies:
                 self._m_expired_states.inc(len(anomalies))
+            self._publish_detector_gauges(worker.partition_id, detector)
         else:
             anomalies = detector.process(record.value)
         for anomaly in anomalies:
@@ -362,6 +366,23 @@ class LogLensService:
                 source=anomaly.source,
                 timestamp_millis=anomaly.timestamp_millis,
             )
+
+    def _publish_detector_gauges(
+        self, partition_id: int, detector: LogSequenceDetector
+    ) -> None:
+        """Refresh one partition's open-state gauges (post-sweep)."""
+        open_gauge = self._g_open_events.get(partition_id)
+        if open_gauge is None:
+            label = str(partition_id)
+            open_gauge = self.metrics.gauge(
+                "detector.open_events", partition=label
+            )
+            self._g_open_events[partition_id] = open_gauge
+            self._g_heap_depth[partition_id] = self.metrics.gauge(
+                "detector.expiry_heap_depth", partition=label
+            )
+        open_gauge.set(detector.open_event_count)
+        self._g_heap_depth[partition_id].set(detector.expiry_heap_depth)
 
     # ------------------------------------------------------------------
     # Driver-side sinks and helpers
@@ -436,13 +457,12 @@ class LogLensService:
         within a partition, and event logs of one source must stay in
         arrival order for sequence detection.
         """
-        count = 0
-        for raw in raw_logs:
-            self.bus.produce(
-                "logs.raw", {"raw": raw, "source": source}, key=source
-            )
-            count += 1
-        return count
+        produced = self.bus.produce_many(
+            "logs.raw",
+            [{"raw": raw, "source": source} for raw in raw_logs],
+            key=source,
+        )
+        return len(produced)
 
     def step(self, max_records: int = 100000) -> StepReport:
         """Advance one end-to-end micro-batch period."""
@@ -450,7 +470,7 @@ class LogLensService:
         before_anomalies = self.anomaly_storage.count()
 
         self.log_manager.cycle()
-        messages = self._ingest_consumer.poll(max_records=max_records)
+        messages = self._ingest_consumer.poll_many(max_records=max_records)
         parse_batch = [
             StreamRecord(value=m.value, key=m.key, source=m.value["source"])
             for m in messages
