@@ -1,6 +1,6 @@
 """Command-line interface for the LogLens reproduction.
 
-Nine subcommands cover the library's workflow from a shell::
+Ten subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
@@ -11,6 +11,7 @@ Nine subcommands cover the library's workflow from a shell::
     loglens metrics stream.log -m model.json      # observability snapshot
     loglens chaos   stream.log -m model.json      # fault-injection proof
     loglens bench   --quick -o bench-out          # perf benchmark suite
+    loglens query   "SELECT ..." --storage sqlite:loglens.db  # ad-hoc SQL
 
 ``train`` reads raw lines (one log per line), discovers patterns, learns
 automata, and writes one JSON model file.  ``detect`` replays a stream
@@ -21,6 +22,12 @@ while deterministically injecting operator failures, poison records, and
 flaky broadcast fetches, then proves the batch completed with zero lost
 records (retried or quarantined to dead-letter topics) — all on a
 virtual clock, with no wall-clock sleeping.
+
+The service-backed commands (``watch`` / ``metrics`` / ``chaos``) take
+``--storage sqlite:PATH`` to persist archived logs, models, and
+anomalies into a WAL-mode SQLite database that survives restarts;
+``query`` then runs arbitrary **read-only** SQL against such a database
+(tables: ``logs``, ``anomalies``, ``models`` — see docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -124,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-beginning", action="store_true",
         help="process the file's existing content too",
     )
+    watch.add_argument(
+        "--storage", default=None, metavar="SPEC",
+        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
+             "(persist logs/models/anomalies across restarts)",
+    )
     watch.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
 
@@ -147,6 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--json", action="store_true",
         help="emit the raw JSON snapshot instead of a table",
+    )
+    metrics.add_argument(
+        "--storage", default=None, metavar="SPEC",
+        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
+             "(persist logs/models/anomalies across restarts)",
     )
     metrics.add_argument("--max-dist", type=float, default=0.3,
                          help=argparse.SUPPRESS)
@@ -190,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the raw JSON report instead of a summary",
     )
+    chaos.add_argument(
+        "--storage", default=None, metavar="SPEC",
+        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
+             "(persist logs/models/anomalies across restarts)",
+    )
     chaos.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
 
@@ -231,6 +253,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true", dest="list_cases",
         help="list the case catalog grouped by subsystem and exit",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="run read-only SQL against a sqlite storage database",
+    )
+    query.add_argument(
+        "sql", help="a read-only SQL statement (SELECT / PRAGMA / "
+                    "EXPLAIN); writes are rejected by the engine",
+    )
+    query.add_argument(
+        "--storage", required=True, metavar="SPEC",
+        help="the database to query: 'sqlite:PATH' (or a bare PATH)",
+    )
+    query.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object per row instead of a table",
     )
 
     quality = sub.add_parser(
@@ -328,7 +367,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from .service.agent import FileTailAgent
 
     lens = _make_lens(args).load(args.model)
-    service = lens.to_service()
+    service = lens.to_service(storage=args.storage)
     source = args.source or Path(args.logfile).stem
     agent = FileTailAgent(
         service.bus,
@@ -354,6 +393,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 time.sleep(args.poll_seconds)
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         pass
+    finally:
+        service.close()
     print(
         "watched %d lines, %d anomalies" % (agent.shipped, reported),
         file=sys.stderr,
@@ -389,11 +430,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         )
         return 2
     lines = _read_lines(args.logs)
-    service = lens.to_service()
+    service = lens.to_service(storage=args.storage)
     service.ingest(lines, source=args.source)
     service.run_until_drained()
     service.final_flush()
     snapshot = service.report().metrics
+    service.close()
     if args.json:
         print(json.dumps(snapshot, sort_keys=True, indent=2))
     else:
@@ -459,7 +501,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         base_delay_seconds=0.01,
         clock=clock,
     )
-    service = lens.to_service(retry_policy=policy, fault_plan=plan)
+    service = lens.to_service(
+        retry_policy=policy, fault_plan=plan, storage=args.storage
+    )
 
     lines = _read_lines(args.logs)
     ingested = service.ingest(lines, source=args.source)
@@ -486,6 +530,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "faults": plan.snapshot(),
         "lost": lost,
     }
+    service.close()
     if args.json:
         print(json.dumps(doc, sort_keys=True, indent=2))
     else:
@@ -571,6 +616,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Ad-hoc read-only SQL against a ``--storage sqlite:PATH`` database.
+
+    The connection is opened with ``PRAGMA query_only=ON``, so any
+    statement that tries to write is rejected by SQLite itself — this
+    command can inspect a database a live service is appending to
+    without risk (WAL mode allows concurrent readers).
+    """
+    import sqlite3
+
+    from .service.backends import parse_storage_spec
+    from .service.sqlite_store import run_readonly_sql
+
+    spec = args.storage
+    if not spec.startswith("sqlite:"):
+        spec = "sqlite:" + spec  # bare paths are a convenience alias
+    try:
+        config = parse_storage_spec(spec)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if config.kind != "sqlite":
+        print(
+            "error: 'query' needs a sqlite database, got %r"
+            % config.describe(),
+            file=sys.stderr,
+        )
+        return 2
+    if not Path(config.path).is_file():
+        print(
+            "error: no such database file: %s" % config.path,
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        columns, rows = run_readonly_sql(config.path, args.sql)
+    except sqlite3.Error as exc:
+        print("sql error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.json:
+        for row in rows:
+            print(json.dumps(
+                dict(zip(columns, row)), sort_keys=True, default=str
+            ))
+    elif columns:
+        widths = [
+            max(len(str(col)), *(len(str(r[i])) for r in rows))
+            if rows else len(str(col))
+            for i, col in enumerate(columns)
+        ]
+        print("  ".join(
+            str(col).ljust(w) for col, w in zip(columns, widths)
+        ))
+        print("  ".join("-" * w for w in widths))
+        for row in rows:
+            print("  ".join(
+                str(cell).ljust(w) for cell, w in zip(row, widths)
+            ))
+    print("%d row(s)" % len(rows), file=sys.stderr)
+    return 0
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from .parsing.quality import evaluate_pattern_model
 
@@ -593,6 +700,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
+    "query": _cmd_query,
 }
 
 

@@ -27,7 +27,17 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import time as _time
 
@@ -42,6 +52,7 @@ from ..streaming.engine import StreamingContext, WorkerContext
 from ..streaming.records import StreamRecord
 from ..streaming.retry import QuarantinedRecord, RetryPolicy
 from ..streaming.state import StateMap
+from .backends import StorageConfig, parse_storage_spec
 from .bus import MessageBus
 from .heartbeat import HeartbeatController
 from .log_manager import LogManager
@@ -169,6 +180,17 @@ class LogLensService:
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` installed across both
         streaming contexts and the heartbeat controller (chaos testing).
+    storage:
+        Storage backend spec: ``"memory"`` (default, the indexed
+        in-memory stores), ``"sqlite:PATH"`` (all three stores persist
+        into one WAL-mode SQLite database at PATH, surviving restarts),
+        or a pre-parsed :class:`~repro.service.backends.StorageConfig`.
+        When the database already holds model versions from an earlier
+        run, the latest models are republished into the pipeline at
+        construction — a restarted service resumes detecting without
+        retraining, and can replay / rebuild from the persisted
+        archive.  Call :meth:`close` to checkpoint and release the
+        database.
     """
 
     def __init__(
@@ -183,6 +205,7 @@ class LogLensService:
         metrics: Optional[MetricsRegistry] = None,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        storage: Union[str, StorageConfig, None] = None,
     ) -> None:
         self.tokenizer_factory = tokenizer_factory or Tokenizer
         self.heartbeat_period_steps = max(1, heartbeat_period_steps)
@@ -199,13 +222,39 @@ class LogLensService:
         )
         self.fault_plan = fault_plan
 
-        # Transport and storage plane.
+        # Transport and storage plane.  The backend is pluggable: the
+        # in-memory default, or one shared SQLite(WAL) database so the
+        # archive, models, and anomalies survive a restart.
         self.bus = MessageBus(metrics=self.metrics)
         self.bus.ensure_topic("logs.raw", partitions=num_partitions)
         self.bus.ensure_topic("logs.ingest", partitions=num_partitions)
-        self.log_storage = LogStorage(metrics=self.metrics)
-        self.model_storage = ModelStorage()
-        self.anomaly_storage = AnomalyStorage(metrics=self.metrics)
+        self.storage_config = parse_storage_spec(storage)
+        self.storage_database = None
+        if self.storage_config.kind == "sqlite":
+            from .sqlite_store import (
+                SQLiteDatabase,
+                SQLiteDocumentStore,
+                SQLiteModelJournal,
+            )
+
+            self.storage_database = SQLiteDatabase(self.storage_config.path)
+            self.log_storage = LogStorage(
+                backend=SQLiteDocumentStore(
+                    self.storage_database, "logs", metrics=self.metrics
+                )
+            )
+            self.model_storage = ModelStorage(
+                journal=SQLiteModelJournal(self.storage_database)
+            )
+            self.anomaly_storage = AnomalyStorage(
+                backend=SQLiteDocumentStore(
+                    self.storage_database, "anomalies", metrics=self.metrics
+                )
+            )
+        else:
+            self.log_storage = LogStorage(metrics=self.metrics)
+            self.model_storage = ModelStorage()
+            self.anomaly_storage = AnomalyStorage(metrics=self.metrics)
         self.log_manager = LogManager(self.bus, self.log_storage)
         self._ingest_consumer = self.bus.consumer(
             "logs.ingest", group="loglens-parser"
@@ -274,6 +323,17 @@ class LogLensService:
         # steady state allocates no fresh buffer per micro-batch.
         self._parsed_spare: List[StreamRecord] = []
         self._build_graphs()
+
+        # Restart path: a persistent database that already holds model
+        # versions means this service is resuming an earlier run —
+        # republish the latest models so detection continues without
+        # retraining.
+        if (
+            self.storage_config.persistent
+            and self.model_storage.names()
+        ):
+            self.model_manager.publish_all()
+            self.flush_model_updates()
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -532,6 +592,16 @@ class LogLensService:
                 parse_metrics.quarantined + seq_metrics.quarantined
             ),
         )
+
+    def close(self) -> None:
+        """Release the persistent storage database (checkpoint + close).
+
+        A no-op for memory-backed services.  After closing, another
+        service constructed with the same ``sqlite:PATH`` spec resumes
+        from everything this one persisted.
+        """
+        if self.storage_database is not None:
+            self.storage_database.close()
 
     def replay_from_storage(
         self, source: str, as_source: Optional[str] = None

@@ -28,10 +28,21 @@ iterate exactly like the dicts the API historically returned; call
 insertion order; when the sorted index serves a ``range_`` query the
 results come back ordered by the range field (ties in insertion order).
 ``limit`` truncates *after* that ordering is established.
+
+**Backends.** :class:`DocumentStore` is the reference implementation of
+the :class:`~repro.service.backends.StorageBackend` protocol — the fast
+in-memory default and the oracle the cross-backend equivalence suite
+holds other backends to.  :class:`LogStorage` and
+:class:`AnomalyStorage` accept any protocol implementation via their
+``backend`` parameter (e.g. the persistent
+:class:`~repro.service.sqlite_store.SQLiteDocumentStore`);
+:class:`ModelStorage` persists through an optional write-through
+``journal``.  See ``docs/STORAGE.md``.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
 from bisect import bisect_left, bisect_right
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -158,6 +169,11 @@ class DocumentStore:
             add_doc = self._docs.append
             by_id = self._by_id
             next_id = self._next_id
+            # Poisoned fields collected per document, applied *after*
+            # each index loop: removing from hash_live/sorted_live while
+            # iterating them silently skipped the next live index for
+            # that document, leaving it invisible to later queries.
+            poisoned: List[str] = []
             for doc in docs:
                 stored = ReadOnlyDocument(doc)
                 dict.__setitem__(stored, "_id", next_id)
@@ -172,12 +188,17 @@ class DocumentStore:
                         bucket = index.get(value)
                     except TypeError:  # unhashable value: poison
                         self._hash_index[fname] = None
-                        hash_live.remove(entry)
+                        poisoned.append(fname)
                         continue
                     if bucket is None:
                         index[value] = [stored]
                     else:
                         bucket.append(stored)
+                if poisoned:
+                    hash_live = [
+                        e for e in hash_live if e[0] not in poisoned
+                    ]
+                    poisoned.clear()
                 for entry in sorted_live:
                     fname, sindex = entry
                     value = stored.get(fname)
@@ -194,7 +215,12 @@ class DocumentStore:
                             sindex.docs.insert(pos, stored)
                     except TypeError:  # uncomparable value: poison
                         self._sorted_index[fname] = None
-                        sorted_live.remove(entry)
+                        poisoned.append(fname)
+                if poisoned:
+                    sorted_live = [
+                        e for e in sorted_live if e[0] not in poisoned
+                    ]
+                    poisoned.clear()
             self._next_id = next_id
             self._g_docs.set(len(self._docs))
             self._refresh_index_gauges()
@@ -450,10 +476,28 @@ class DocumentStore:
 
 
 class LogStorage:
-    """Archived raw logs organised by source (paper: "Log Storage")."""
+    """Archived raw logs organised by source (paper: "Log Storage").
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
-        self._store = DocumentStore(metrics=metrics, name="logs")
+    ``backend`` is any :class:`~repro.service.backends.StorageBackend`
+    implementation; defaults to an in-memory :class:`DocumentStore`.
+
+    **Timestamp visibility rule:** rows archived with
+    ``timestamp_millis=None`` (no event time was detected) are
+    permanently invisible to :meth:`time_range` — the time index skips
+    documents missing the range field.  They remain visible to
+    :meth:`by_source` (and therefore to replay) and :meth:`count`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        backend: Optional[Any] = None,
+    ) -> None:
+        self._store = (
+            backend
+            if backend is not None
+            else DocumentStore(metrics=metrics, name="logs")
+        )
 
     def store(
         self,
@@ -473,11 +517,29 @@ class LogStorage:
         self,
         raws: Iterable[str],
         source: str,
+        timestamps: Optional[Iterable[Optional[int]]] = None,
     ) -> None:
-        self._store.insert_many(
-            {"raw": raw, "source": source, "timestamp_millis": None}
-            for raw in raws
-        )
+        """Archive many lines of one source in a single batch.
+
+        ``timestamps`` optionally supplies one ``timestamp_millis`` per
+        raw line (same length as ``raws``).  Without it every row is
+        stored timestamp-less and is therefore invisible to
+        :meth:`time_range` forever (see the class docstring).
+        """
+        if timestamps is None:
+            self._store.insert_many(
+                {"raw": raw, "source": source, "timestamp_millis": None}
+                for raw in raws
+            )
+            return
+        raw_list = list(raws)
+        ts_list = list(timestamps)
+        if len(ts_list) != len(raw_list):
+            raise ValueError(
+                "store_many got %d timestamps for %d raw lines"
+                % (len(ts_list), len(raw_list))
+            )
+        self.store_batch(zip(raw_list, [source] * len(raw_list), ts_list))
 
     def store_batch(
         self, entries: Iterable[Tuple[str, str, Optional[int]]]
@@ -503,7 +565,9 @@ class LogStorage:
         """Raw logs of a source within [start, end] (model rebuild window).
 
         Served by the time index: results come back in timestamp order
-        (arrival order between equal timestamps).
+        (arrival order between equal timestamps).  Rows archived with
+        ``timestamp_millis=None`` never appear here — use
+        :meth:`by_source` for the complete archive.
         """
         docs = self._store.query(
             match={"source": source},
@@ -523,21 +587,38 @@ class ModelStorage:
     they pin a version.  Values are stored as plain dicts — the
     serialisation format of :class:`~repro.parsing.parser.PatternModel` and
     :class:`~repro.sequence.model.SequenceModel`.
+
+    Versions are **deep-copied on both put and get**: model dicts nest
+    mutable pattern/automaton lists, and a shallow copy would let a
+    caller that mutates a retrieved model corrupt the stored version in
+    place.
+
+    ``journal`` optionally mirrors every mutation into persistent
+    storage (see
+    :class:`~repro.service.sqlite_store.SQLiteModelJournal`); on
+    construction the journal's history is loaded back, so a restarted
+    service resumes with its full version history.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, journal: Optional[Any] = None) -> None:
         self._versions: Dict[str, List[Dict[str, Any]]] = {}
         #: Count of pruned (no longer retrievable) versions per name;
         #: version numbers stay stable across pruning.
         self._version_base: Dict[str, int] = {}
         self._lock = threading.RLock()
+        self._journal = journal
+        if journal is not None:
+            self._versions, self._version_base = journal.load()
 
     def put(self, name: str, model_dict: Dict[str, Any]) -> int:
         """Store a new version; returns the 1-based version number."""
         with self._lock:
             history = self._versions.setdefault(name, [])
-            history.append(dict(model_dict))
-            return self._version_base.get(name, 0) + len(history)
+            history.append(copy.deepcopy(model_dict))
+            version = self._version_base.get(name, 0) + len(history)
+            if self._journal is not None:
+                self._journal.append(name, version, history[-1])
+            return version
 
     def get(
         self, name: str, version: Optional[int] = None
@@ -547,14 +628,14 @@ class ModelStorage:
             if not history:
                 raise KeyError("no model named %r" % name)
             if version is None:
-                return dict(history[-1])
+                return copy.deepcopy(history[-1])
             base = self._version_base.get(name, 0)
             index = version - base - 1
             if not 0 <= index < len(history):
                 raise KeyError(
                     "model %r has no version %d" % (name, version)
                 )
-            return dict(history[index])
+            return copy.deepcopy(history[index])
 
     def latest_version(self, name: str) -> int:
         with self._lock:
@@ -585,6 +666,8 @@ class ModelStorage:
                     self._version_base.get(name, 0) + dropped
                 )
                 self._versions[name] = history[dropped:]
+                if self._journal is not None:
+                    self._journal.prune(name, self._version_base[name])
             return dropped
 
     def delete(self, name: str) -> None:
@@ -592,13 +675,28 @@ class ModelStorage:
             if name not in self._versions:
                 raise KeyError("no model named %r" % name)
             del self._versions[name]
+            self._version_base.pop(name, None)
+            if self._journal is not None:
+                self._journal.delete(name)
 
 
 class AnomalyStorage:
-    """Validated anomaly documents (paper: "Anomaly Storage")."""
+    """Validated anomaly documents (paper: "Anomaly Storage").
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
-        self._store = DocumentStore(metrics=metrics, name="anomalies")
+    ``backend`` is any :class:`~repro.service.backends.StorageBackend`
+    implementation; defaults to an in-memory :class:`DocumentStore`.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        backend: Optional[Any] = None,
+    ) -> None:
+        self._store = (
+            backend
+            if backend is not None
+            else DocumentStore(metrics=metrics, name="anomalies")
+        )
 
     def store(self, anomaly_dict: Dict[str, Any]) -> int:
         return self._store.insert(anomaly_dict)

@@ -229,3 +229,90 @@ class TestQuality:
         captured = capsys.readouterr()
         assert "coverage=0.000" in captured.out
         assert "unparsed:" in captured.err
+
+
+class TestQuery:
+    @pytest.fixture
+    def populated_db(self, tmp_path, training_file, model_file):
+        """A database left behind by `metrics --storage sqlite:...`."""
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call q-1 from 10.0.0.8\n"
+            "2016/05/09 17:00:04 gate call q-1 CLOSED rc 9999999\n"
+            "garbage that matches nothing\n"
+        )
+        db_path = tmp_path / "loglens.db"
+        assert main(
+            ["metrics", str(stream), "-m", str(model_file),
+             "--json", "--storage", "sqlite:%s" % db_path]
+        ) == 0
+        return db_path
+
+    def test_select_table_output(self, populated_db, capsys):
+        capsys.readouterr()  # drop the metrics output
+        assert main(
+            ["query",
+             "SELECT source, COUNT(*) AS n FROM logs GROUP BY source",
+             "--storage", "sqlite:%s" % populated_db]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "cli" in captured.out
+        assert "3" in captured.out
+        assert "1 row(s)" in captured.err
+
+    def test_json_output_and_bare_path(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query",
+             "SELECT type, COUNT(*) AS n FROM anomalies GROUP BY type",
+             "--storage", str(populated_db), "--json"]
+        ) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert rows == [{"type": "unparsed_log", "n": 1}]
+
+    def test_write_statement_rejected(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(
+            ["query", "DELETE FROM logs",
+             "--storage", str(populated_db)]
+        ) == 1
+        assert "sql error" in capsys.readouterr().err
+        capsys.readouterr()
+        assert main(
+            ["query", "SELECT COUNT(*) AS n FROM logs",
+             "--storage", str(populated_db), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == {"n": 3}
+
+    def test_missing_database_errors(self, tmp_path, capsys):
+        assert main(
+            ["query", "SELECT 1",
+             "--storage", "sqlite:%s" % (tmp_path / "nope.db")]
+        ) == 2
+        assert "no such database file" in capsys.readouterr().err
+
+
+class TestServiceStorageFlag:
+    def test_chaos_with_sqlite_storage(
+        self, tmp_path, training_file, capsys
+    ):
+        stream = tmp_path / "stream.log"
+        stream.write_text(
+            "2016/05/09 17:00:01 gate OPEN call s-1 from 10.0.0.8\n"
+            "2016/05/09 17:00:04 gate call s-1 CLOSED rc 1234567\n"
+        )
+        db_path = tmp_path / "chaos.db"
+        assert main(
+            ["chaos", str(stream), "--train", str(training_file),
+             "--fail-first", "0", "--json",
+             "--storage", "sqlite:%s" % db_path]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "SELECT COUNT(*) AS n FROM logs",
+             "--storage", str(db_path), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == {"n": 2}

@@ -95,7 +95,7 @@ def test_cli_entry_point():
     commands = parser._subparsers._group_actions[0].choices
     assert set(commands) == {
         "train", "detect", "inspect", "parse", "watch", "quality",
-        "metrics", "chaos", "bench",
+        "metrics", "chaos", "bench", "query",
     }
 
 

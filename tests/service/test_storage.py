@@ -61,6 +61,50 @@ class TestDocumentStore:
         assert store.count() == 0
 
 
+class TestInsertManyMidBatchPoison:
+    """insert_many must not skip live indexes when one poisons mid-batch.
+
+    Regression: the batch loop removed a poisoned index from the live
+    list *while iterating it*, which silently skipped the next live
+    index for that document — the document was stored but invisible to
+    later queries on the skipped field.
+    """
+
+    def test_hash_poison_keeps_next_hash_index_current(self):
+        store = DocumentStore()
+        store.insert({"a": 1, "b": "x"})
+        store.query(match={"a": 1})    # build hash index on "a" first
+        store.query(match={"b": "x"})  # ... then on "b"
+        store.insert_many(
+            [
+                {"a": [1], "b": "y"},  # unhashable "a" poisons its index
+                {"a": 2, "b": "y"},
+            ]
+        )
+        # Both batch docs must be visible through the "b" index.
+        assert store.count(match={"b": "y"}) == 2
+        docs = store.query(match={"b": "y"})
+        assert [d["_id"] for d in docs] == [1, 2]
+        # The poisoned field still answers via the linear fallback.
+        assert store.count(match={"a": 2}) == 1
+
+    def test_sorted_poison_keeps_next_sorted_index_current(self):
+        store = DocumentStore()
+        store.insert({"p": 5, "q": 10})
+        store.query(range_=("p", 0, 100))  # build sorted index on "p"
+        store.query(range_=("q", 0, 100))  # ... then on "q"
+        store.insert_many(
+            [
+                {"p": "s", "q": 20},  # str vs int poisons "p"'s index
+                {"p": 6, "q": 30},
+            ]
+        )
+        docs = store.query(range_=("q", 15, 35))
+        assert [d["q"] for d in docs] == [20, 30]
+        # Poisoned "p" range queries fall back to the linear scan.
+        assert [d["p"] for d in store.query(range_=("p", 0, 100))] == [5, 6]
+
+
 class TestLogStorage:
     def test_by_source(self):
         storage = LogStorage()
@@ -84,6 +128,24 @@ class TestLogStorage:
         storage = LogStorage()
         storage.store_many(["a", "b"], "src")
         assert storage.count("src") == 2
+
+    def test_store_many_with_timestamps(self):
+        """Regression: store_many hardcoded timestamp_millis=None, so
+        batch-archived rows were permanently invisible to time_range."""
+        storage = LogStorage()
+        storage.store_many(
+            ["a", "b", "c"], "src", timestamps=[100, 200, None]
+        )
+        assert storage.time_range("src", 50, 250) == ["a", "b"]
+        # The None-timestamp row stays replayable via by_source.
+        assert storage.by_source("src") == ["a", "b", "c"]
+        assert storage.count("src") == 3
+
+    def test_store_many_timestamp_length_mismatch(self):
+        storage = LogStorage()
+        with pytest.raises(ValueError):
+            storage.store_many(["a", "b"], "src", timestamps=[100])
+        assert storage.count("src") == 0
 
 
 class TestModelStorage:
@@ -123,6 +185,23 @@ class TestModelStorage:
         storage.put("m", {"k": 1})
         storage.get("m")["k"] = 99
         assert storage.get("m")["k"] == 1
+
+    def test_get_returns_deep_copy(self):
+        """Regression: get/put made shallow dict copies, so mutating a
+        nested list of a retrieved model corrupted the stored version."""
+        storage = ModelStorage()
+        storage.put("m", {"patterns": [{"id": 1}], "ids": [1, 2]})
+        got = storage.get("m")
+        got["ids"].append(99)
+        got["patterns"][0]["id"] = 77
+        assert storage.get("m") == {"patterns": [{"id": 1}], "ids": [1, 2]}
+
+    def test_put_stores_deep_copy(self):
+        storage = ModelStorage()
+        model = {"ids": [1]}
+        storage.put("m", model)
+        model["ids"].append(2)
+        assert storage.get("m") == {"ids": [1]}
 
 
 class TestAnomalyStorage:
