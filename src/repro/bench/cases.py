@@ -46,6 +46,11 @@ Primary cases (each emits one ``BENCH_<case>.json``):
 ``bus_roundtrip``
     Keyed batched produce plus consumer poll of the full topic through
     :class:`~repro.service.bus.MessageBus`.
+``ingest_network``
+    Concurrent :class:`~repro.ingest.client.IngestClient` senders
+    through a real loopback :class:`~repro.ingest.server.IngestServer`
+    into a bus topic — the network front door's admission hot path
+    (framing, batching, ack round-trips) under client concurrency.
 
 Derived cases (computed from primary samples, no extra timing):
 
@@ -65,12 +70,14 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..baselines.logstash import NaiveGrokParser
+from ..ingest.server import IngestServer
 from ..obs import MetricsRegistry, NullRegistry
 from ..parsing.index import PatternIndex
 from ..parsing.parser import FastLogParser
 from ..parsing.tokenizer import Tokenizer
 from ..sequence.detector import LogSequenceDetector
 from ..service.bus import MessageBus
+from ..service.config import ServiceConfig
 from ..service.loglens_service import LogLensService
 from ..service.sqlite_store import (
     SQLiteDatabase,
@@ -114,6 +121,8 @@ QUICK_PARAMS: Dict[str, Any] = {
     "detector_open_events": 5000,
     "detector_heartbeats": 500,
     "bus_records": 16000,
+    "ingest_clients": 8,
+    "ingest_lines_per_client": 400,
     "repeats": 3,
     "warmup": 1,
 }
@@ -130,6 +139,8 @@ FULL_PARAMS: Dict[str, Any] = {
     "detector_open_events": 10000,
     "detector_heartbeats": 100,
     "bus_records": 20000,
+    "ingest_clients": 32,
+    "ingest_lines_per_client": 1000,
     "repeats": 5,
     "warmup": 2,
 }
@@ -278,7 +289,9 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
         return shared["workload"]
 
     def replay(workload, metrics):
-        service = LogLensService(num_partitions=4, metrics=metrics)
+        service = LogLensService(
+            config=ServiceConfig(num_partitions=4, metrics=metrics)
+        )
         service.model_manager.register_built(workload.models)
         service.model_manager.publish_all()
         service.flush_model_updates()
@@ -321,6 +334,92 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
             records=lambda w: len(w.lines),
             check=check_drained,
             group="service",
+        ),
+    ]
+
+
+def _ingest_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    """The network front door: concurrent loopback senders."""
+    import threading
+
+    from ..ingest import IngestClient, IngestLimits, IngestServerThread
+
+    clients = params["ingest_clients"]
+    lines_per_client = params["ingest_lines_per_client"]
+    total = clients * lines_per_client
+    case_params = {
+        "ingest_clients": clients,
+        "ingest_lines_per_client": lines_per_client,
+    }
+
+    def load():
+        return [
+            [
+                "2024-01-01 00:00:00 bench client-%d line-%d" % (c, i)
+                for i in range(lines_per_client)
+            ]
+            for c in range(clients)
+        ]
+
+    def run(payloads):
+        bus = MessageBus(metrics=NullRegistry())
+        bus.ensure_topic("bench.ingest", partitions=4)
+
+        def sink(lines: Sequence[str], source: str) -> int:
+            records = [{"raw": line, "source": source} for line in lines]
+            bus.produce_many("bench.ingest", records, key=source)
+            return len(records)
+
+        server = IngestServerThread(
+            IngestServer(
+                sink,
+                limits=IngestLimits(batch_lines=64),
+                metrics=NullRegistry(),
+            )
+        ).start()
+
+        def send(index: int) -> None:
+            with IngestClient(
+                "127.0.0.1",
+                server.tcp_port,
+                "bench-%d" % index,
+                batch_lines=64,
+            ) as client:
+                client.send(payloads[index])
+
+        threads = [
+            threading.Thread(target=send, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            server.stop()
+        return server.server, bus
+
+    def check(payloads, result):
+        if result is None:
+            return
+        server, bus = result
+        produced = sum(bus.end_offsets("bench.ingest"))
+        if server.accepted_total != total or produced != total:
+            raise AssertionError(
+                "ingest_network admitted %d / produced %d of %d lines"
+                % (server.accepted_total, produced, total)
+            )
+
+    return [
+        BenchCase(
+            name="ingest_network",
+            params=case_params,
+            setup=load,
+            run=run,
+            records=total,
+            check=check,
+            group="ingest",
         ),
     ]
 
@@ -625,6 +724,7 @@ def build_cases(quick: bool = False) -> List[BenchCase]:
     return (
         _parser_cases(params)
         + _service_cases(params)
+        + _ingest_cases(params)
         + _data_plane_cases(params)
     )
 

@@ -1,12 +1,13 @@
 """Command-line interface for the LogLens reproduction.
 
-Ten subcommands cover the library's workflow from a shell::
+Eleven subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
     loglens inspect model.json                    # show patterns/automata
     loglens parse   stream.log -m model.json      # structured parse output
     loglens watch   app.log    -m model.json      # follow a live log file
+    loglens serve   -m model.json                 # network ingestion daemon
     loglens quality sample.log -m model.json      # drift check (coverage)
     loglens metrics stream.log -m model.json      # observability snapshot
     loglens chaos   stream.log -m model.json      # fault-injection proof
@@ -17,17 +18,23 @@ Ten subcommands cover the library's workflow from a shell::
 automata, and writes one JSON model file.  ``detect`` replays a stream
 through both detectors and prints one JSON document per anomaly.
 ``watch`` tails a growing file through the full real-time service,
-printing anomalies as they are detected.  ``chaos`` replays a stream
-while deterministically injecting operator failures, poison records, and
+printing anomalies as they are detected.  ``serve`` opens the network
+front door (docs/INGESTION.md): a line-delimited TCP listener plus an
+HTTP POST endpoint feeding the same service, with backpressure driven
+by the real bus backlog.  ``chaos`` replays a stream while
+deterministically injecting operator failures, poison records, and
 flaky broadcast fetches, then proves the batch completed with zero lost
 records (retried or quarantined to dead-letter topics) — all on a
-virtual clock, with no wall-clock sleeping.
+virtual clock, with no wall-clock sleeping; ``chaos --socket`` drives
+the same proof through the TCP front door while dropping connections
+and failing batch admissions.
 
-The service-backed commands (``watch`` / ``metrics`` / ``chaos``) take
-``--storage sqlite:PATH`` to persist archived logs, models, and
-anomalies into a WAL-mode SQLite database that survives restarts;
-``query`` then runs arbitrary **read-only** SQL against such a database
-(tables: ``logs``, ``anomalies``, ``models`` — see docs/STORAGE.md).
+The service-backed commands (``watch`` / ``serve`` / ``metrics`` /
+``chaos``) take ``--storage sqlite:PATH`` to persist archived logs,
+models, and anomalies into a WAL-mode SQLite database that survives
+restarts; ``query`` then runs arbitrary **read-only** SQL against such
+a database (tables: ``logs``, ``anomalies``, ``models`` — see
+docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -59,6 +66,74 @@ def _make_lens(args: argparse.Namespace) -> LogLens:
         heartbeats_enabled=not getattr(args, "no_heartbeat", False),
     )
     return LogLens(config)
+
+
+def _fit_or_load(args: argparse.Namespace, lens: LogLens) -> int:
+    """Resolve ``-m MODEL`` / ``--train NORMAL_LOGS`` into a fitted lens.
+
+    Returns 0 on success, or the exit code to propagate on error.
+    """
+    if args.model:
+        lens.load(args.model)
+    elif args.train:
+        training = _read_lines(args.train)
+        if not training:
+            print("error: no training logs read", file=sys.stderr)
+            return 2
+        lens.fit(training)
+    else:
+        print(
+            "error: provide -m/--model or --train NORMAL_LOGS",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Shared flag groups (argparse parent parsers)
+# ----------------------------------------------------------------------
+# Every service-backed subcommand takes the same --storage flag, and the
+# reporting commands the same --json switch.  Defining them once keeps
+# spelling, metavar, and help text identical across subcommands.
+
+_STORAGE_HELP = (
+    "storage backend: 'memory' (default) or 'sqlite:PATH' "
+    "(persist logs/models/anomalies across restarts)"
+)
+
+
+def _storage_parent(
+    *, required: bool = False, help_text: str = _STORAGE_HELP
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--storage",
+        required=required,
+        default=None,
+        metavar="SPEC",
+        help=help_text,
+    )
+    return parent
+
+
+def _json_parent(help_text: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--json", action="store_true", help=help_text)
+    return parent
+
+
+def _model_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "-m", "--model", default=None, help="model file from 'train'"
+    )
+    parent.add_argument(
+        "--train", default=None, metavar="NORMAL_LOGS",
+        help="train in-process from these normal-run logs instead of "
+             "loading a model file",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,7 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help=argparse.SUPPRESS)
 
     watch = sub.add_parser(
-        "watch", help="follow a log file through the real-time service"
+        "watch",
+        parents=[_storage_parent()],
+        help="follow a log file through the real-time service",
     )
     watch.add_argument("logfile", help="log file to tail")
     watch.add_argument("-m", "--model", required=True)
@@ -131,57 +208,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-beginning", action="store_true",
         help="process the file's existing content too",
     )
-    watch.add_argument(
-        "--storage", default=None, metavar="SPEC",
-        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
-             "(persist logs/models/anomalies across restarts)",
-    )
     watch.add_argument("--max-dist", type=float, default=0.3,
+                       help=argparse.SUPPRESS)
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[_model_parent(), _storage_parent()],
+        help="accept logs over TCP/HTTP through the network front door",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--tcp-port", type=int, default=0, metavar="PORT",
+        help="TCP line-protocol port (default 0: pick a free port)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0, metavar="PORT",
+        help="HTTP POST /ingest port (default 0: pick a free port; "
+             "-1 disables HTTP)",
+    )
+    serve.add_argument(
+        "--source", default="tcp",
+        help="source prefix for connections that send no '#source' "
+             "frame (default 'tcp')",
+    )
+    serve.add_argument(
+        "--step-seconds", type=float, default=0.5,
+        help="service step interval (default 0.5)",
+    )
+    serve.add_argument(
+        "--max-steps", type=int, default=None,
+        help="stop after N steps (default: run until interrupted)",
+    )
+    serve.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
 
     metrics = sub.add_parser(
         "metrics",
+        parents=[
+            _model_parent(),
+            _storage_parent(),
+            _json_parent("emit the raw JSON snapshot instead of a table"),
+        ],
         help="replay logs through the full service and print the "
              "observability snapshot",
     )
     metrics.add_argument("logs", help="streaming log file ('-' for stdin)")
     metrics.add_argument(
-        "-m", "--model", default=None, help="model file from 'train'"
-    )
-    metrics.add_argument(
-        "--train", default=None, metavar="NORMAL_LOGS",
-        help="train in-process from these normal-run logs instead of "
-             "loading a model file",
-    )
-    metrics.add_argument(
         "--source", default="cli", help="source name for ingested lines"
-    )
-    metrics.add_argument(
-        "--json", action="store_true",
-        help="emit the raw JSON snapshot instead of a table",
-    )
-    metrics.add_argument(
-        "--storage", default=None, metavar="SPEC",
-        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
-             "(persist logs/models/anomalies across restarts)",
     )
     metrics.add_argument("--max-dist", type=float, default=0.3,
                          help=argparse.SUPPRESS)
 
     chaos = sub.add_parser(
         "chaos",
+        parents=[
+            _model_parent(),
+            _storage_parent(),
+            _json_parent("emit the raw JSON report instead of a summary"),
+        ],
         help="replay a stream under deterministic fault injection and "
              "prove zero-loss fault tolerance",
     )
     chaos.add_argument("logs", help="streaming log file ('-' for stdin)")
-    chaos.add_argument(
-        "-m", "--model", default=None, help="model file from 'train'"
-    )
-    chaos.add_argument(
-        "--train", default=None, metavar="NORMAL_LOGS",
-        help="train in-process from these normal-run logs instead of "
-             "loading a model file",
-    )
     chaos.add_argument(
         "--source", default="chaos", help="source name for ingested lines"
     )
@@ -204,13 +295,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry budget per operator call (default 3)",
     )
     chaos.add_argument(
-        "--json", action="store_true",
-        help="emit the raw JSON report instead of a summary",
+        "--socket", action="store_true",
+        help="drive the stream through the TCP front door (loopback) "
+             "instead of calling ingest() directly",
     )
     chaos.add_argument(
-        "--storage", default=None, metavar="SPEC",
-        help="storage backend: 'memory' (default) or 'sqlite:PATH' "
-             "(persist logs/models/anomalies across restarts)",
+        "--drop-connections", type=int, default=0, metavar="N",
+        help="with --socket: drop the first N connection attempts "
+             "(clients must reconnect and resend)",
+    )
+    chaos.add_argument(
+        "--fail-batches", type=int, default=0, metavar="N",
+        help="with --socket: fail the first N batch admissions before "
+             "any record is produced (clients must resend)",
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=2, metavar="N",
+        help="with --socket: number of concurrent senders (default 2)",
     )
     chaos.add_argument("--max-dist", type=float, default=0.3,
                        help=argparse.SUPPRESS)
@@ -257,19 +358,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser(
         "query",
+        parents=[
+            _storage_parent(
+                required=True,
+                help_text="the database to query: 'sqlite:PATH' "
+                          "(or a bare PATH)",
+            ),
+            _json_parent("emit one JSON object per row instead of a table"),
+        ],
         help="run read-only SQL against a sqlite storage database",
     )
     query.add_argument(
         "sql", help="a read-only SQL statement (SELECT / PRAGMA / "
                     "EXPLAIN); writes are rejected by the engine",
-    )
-    query.add_argument(
-        "--storage", required=True, metavar="SPEC",
-        help="the database to query: 'sqlite:PATH' (or a bare PATH)",
-    )
-    query.add_argument(
-        "--json", action="store_true",
-        help="emit one JSON object per row instead of a table",
     )
 
     quality = sub.add_parser(
@@ -415,20 +516,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     registry = get_registry()
     registry.reset()  # only this run's activity in the report
     lens = _make_lens(args)
-    if args.model:
-        lens.load(args.model)
-    elif args.train:
-        training = _read_lines(args.train)
-        if not training:
-            print("error: no training logs read", file=sys.stderr)
-            return 2
-        lens.fit(training)
-    else:
-        print(
-            "error: provide -m/--model or --train NORMAL_LOGS",
-            file=sys.stderr,
-        )
-        return 2
+    status = _fit_or_load(args, lens)
+    if status:
+        return status
     lines = _read_lines(args.logs)
     service = lens.to_service(storage=args.storage)
     service.ingest(lines, source=args.source)
@@ -466,20 +556,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     registry = get_registry()
     registry.reset()  # only this run's activity in the report
     lens = _make_lens(args)
-    if args.model:
-        lens.load(args.model)
-    elif args.train:
-        training = _read_lines(args.train)
-        if not training:
-            print("error: no training logs read", file=sys.stderr)
-            return 2
-        lens.fit(training)
-    else:
-        print(
-            "error: provide -m/--model or --train NORMAL_LOGS",
-            file=sys.stderr,
-        )
-        return 2
+    status = _fit_or_load(args, lens)
+    if status:
+        return status
 
     clock = ManualClock()
     plan = FaultPlan(clock=clock)
@@ -496,6 +575,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         plan.poison("operator:flat_map:*", is_poison)
     if args.flaky_broadcast > 0:
         plan.flaky_broadcast_fetch(args.flaky_broadcast)
+    if args.socket:
+        if args.drop_connections > 0:
+            plan.fail_first("ingest.accept", args.drop_connections)
+        if args.fail_batches > 0:
+            plan.fail_first("ingest.batch", args.fail_batches)
+    elif args.drop_connections or args.fail_batches:
+        print(
+            "error: --drop-connections/--fail-batches need --socket",
+            file=sys.stderr,
+        )
+        return 2
     policy = RetryPolicy(
         max_attempts=args.max_attempts,
         base_delay_seconds=0.01,
@@ -506,8 +596,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     lines = _read_lines(args.logs)
-    ingested = service.ingest(lines, source=args.source)
-    step_reports = service.run_until_drained()
+    transport = None
+    if args.socket:
+        ingested, transport, pump_reports = _chaos_over_socket(
+            service, lines, args, clock
+        )
+        step_reports = pump_reports + service.run_until_drained()
+    else:
+        ingested = service.ingest(lines, source=args.source)
+        step_reports = service.run_until_drained()
     service.final_flush()
 
     report = service.report(include_metrics=False)
@@ -530,6 +627,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "faults": plan.snapshot(),
         "lost": lost,
     }
+    if transport is not None:
+        doc["transport"] = transport
+        # Zero duplication over the socket: everything the clients got
+        # acked for was admitted by the server exactly once.
+        if transport["server_accepted"] != ingested:
+            print(
+                "FAIL: server admitted %d record(s) but clients were "
+                "acked for %d" % (transport["server_accepted"], ingested),
+                file=sys.stderr,
+            )
+            service.close()
+            return 3
     service.close()
     if args.json:
         print(json.dumps(doc, sort_keys=True, indent=2))
@@ -543,6 +652,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 clock.total_slept,
             )
         )
+        if transport is not None:
+            print(
+                "socket: %d clients, %d connections (%d dropped), "
+                "%d batch admissions failed, %d client resends"
+                % (
+                    transport["clients"],
+                    transport["connections"],
+                    transport["dropped_connections"],
+                    transport["batch_retries"],
+                    transport["client_retries"],
+                )
+            )
         for message in dead_letters:
             print("dead-letter: %s" % json.dumps(
                 message.value, sort_keys=True, default=str
@@ -557,6 +678,171 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(
         "OK: all %d records accounted for under injected faults"
         % ingested,
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _chaos_over_socket(service, lines, args, clock):
+    """Ship ``lines`` through the TCP front door with faults armed.
+
+    Runs ``--clients`` concurrent :class:`~repro.ingest.IngestClient`
+    senders against a loopback :class:`~repro.ingest.IngestServer`
+    wired to ``service``, pumping ``service.step()`` on the main thread
+    so backpressure drains while the senders run.  Client backoff uses
+    the chaos run's virtual clock — no wall-clock sleeping.
+
+    Returns ``(ingested, transport_doc, step_reports)`` where
+    ``ingested`` counts only client-acked records.
+    """
+    import threading
+
+    from .ingest import IngestClient, IngestServerThread, front_door
+    from .streaming.retry import RetryPolicy
+
+    door = front_door(service)
+    server_thread = IngestServerThread(door).start()
+    clients = max(1, args.clients)
+    chunk = max(1, -(-len(lines) // clients))  # ceil division
+    reports = []
+    errors = []
+    lock = threading.Lock()
+    # The injected faults are shared across senders, so one unlucky
+    # batch can absorb all of them: budget for that worst case.
+    budget = (
+        args.max_attempts + args.drop_connections + args.fail_batches
+    )
+
+    def run_client(index: int, payload: List[str]) -> None:
+        policy = RetryPolicy(
+            max_attempts=budget, base_delay_seconds=0.01, clock=clock
+        )
+        client = IngestClient(
+            "127.0.0.1",
+            server_thread.tcp_port,
+            "%s-%d" % (args.source, index),
+            retry_policy=policy,
+        )
+        try:
+            report = client.send(payload)
+            client.close()
+            with lock:
+                reports.append(report)
+        except Exception as exc:  # noqa: BLE001 - reported to the user
+            with lock:
+                errors.append("client %d: %s" % (index, exc))
+
+    threads = [
+        threading.Thread(
+            target=run_client,
+            args=(i, lines[i * chunk:(i + 1) * chunk]),
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    pump_reports = []
+    try:
+        for thread in threads:
+            thread.start()
+        while any(t.is_alive() for t in threads):
+            pump_reports.append(service.step())
+        for thread in threads:
+            thread.join()
+    finally:
+        server_thread.stop()
+    for error in errors:
+        print("socket error: %s" % error, file=sys.stderr)
+    transport = {
+        "clients": clients,
+        "accepted": sum(r.accepted for r in reports),
+        "batches": sum(r.batches for r in reports),
+        "client_retries": sum(r.retries for r in reports),
+        "server_accepted": door.accepted_total,
+        "server_shed": door.shed_total,
+        "server_rejected": door.rejected_total,
+        "batch_retries": door.retried_batches_total,
+        "connections": door.connections_total,
+        "dropped_connections": door.dropped_connections_total,
+        "errors": errors,
+    }
+    return transport["accepted"], transport, pump_reports
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network front door over a live service until stopped.
+
+    Binds the line-protocol TCP listener and the HTTP POST endpoint
+    (docs/INGESTION.md), prints the bound ports to stderr (port 0 picks
+    a free one — grep for ``listening``), then steps the service on a
+    fixed cadence, printing each anomaly as one JSON line the moment it
+    is detected.  On shutdown (``--max-steps`` or Ctrl-C) the remaining
+    backlog is drained, open events are flushed, and an accounting
+    summary goes to stderr.
+    """
+    import time
+
+    from .ingest import IngestServerThread, front_door
+
+    lens = _make_lens(args)
+    status = _fit_or_load(args, lens)
+    if status:
+        return status
+    service = lens.to_service(storage=args.storage)
+    door = front_door(
+        service,
+        host=args.host,
+        tcp_port=args.tcp_port,
+        http_port=None if args.http_port < 0 else args.http_port,
+        default_source=args.source,
+    )
+    thread = IngestServerThread(door).start()
+    print(
+        "listening tcp=%s:%s http=%s:%s"
+        % (args.host, thread.tcp_port, args.host, thread.http_port),
+        file=sys.stderr,
+        flush=True,
+    )
+
+    reported = 0
+
+    def report_new_anomalies() -> int:
+        count = 0
+        docs = service.anomaly_storage.all()
+        for doc in docs[reported:]:
+            out = dict(doc)
+            out.pop("_id", None)
+            print(json.dumps(out, sort_keys=True), flush=True)
+            count += 1
+        return reported + count
+
+    steps = 0
+    try:
+        while args.max_steps is None or steps < args.max_steps:
+            steps += 1
+            service.step()
+            reported = report_new_anomalies()
+            if args.max_steps is None or steps < args.max_steps:
+                time.sleep(args.step_seconds)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        thread.stop()
+        service.run_until_drained()
+        service.final_flush()
+        reported = report_new_anomalies()
+        service.close()
+    print(
+        "served %d lines over %d connections (%d dropped) and "
+        "%d http requests: %d anomalies, %d shed, %d rejected"
+        % (
+            door.accepted_total,
+            door.connections_total,
+            door.dropped_connections_total,
+            door.http_requests_total,
+            reported,
+            door.shed_total,
+            door.rejected_total,
+        ),
         file=sys.stderr,
     )
     return 0
@@ -696,6 +982,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "parse": _cmd_parse,
     "watch": _cmd_watch,
+    "serve": _cmd_serve,
     "quality": _cmd_quality,
     "metrics": _cmd_metrics,
     "chaos": _cmd_chaos,

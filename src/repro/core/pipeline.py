@@ -25,6 +25,7 @@ from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
 from ..sequence.detector import LogSequenceDetector
 from ..sequence.learner import SequenceModelLearner
 from ..sequence.model import SequenceModel
+from ..service.config import ServiceConfig
 from ..service.loglens_service import LogLensService
 from ..service.model_builder import ModelBuilder
 from .anomaly import Anomaly
@@ -132,25 +133,34 @@ class LogLens:
     # ------------------------------------------------------------------
     # Deployment and persistence
     # ------------------------------------------------------------------
-    def to_service(self, **service_kwargs: Any) -> LogLensService:
+    def to_service(
+        self,
+        config: Optional[ServiceConfig] = None,
+        **service_kwargs: Any,
+    ) -> LogLensService:
         """A fully wired real-time service carrying the fitted models.
 
-        Extra keyword arguments are forwarded to
-        :class:`~repro.service.loglens_service.LogLensService` — e.g.
-        ``retry_policy=`` / ``fault_plan=`` for fault-tolerance and
-        chaos configurations.
+        Builds a :class:`~repro.service.config.ServiceConfig` from this
+        facade's :class:`~repro.core.config.LogLensConfig`; extra
+        keyword arguments override individual config fields (e.g.
+        ``retry_policy=`` / ``fault_plan=`` for chaos configurations,
+        ``storage=`` for persistence, ``ingest=`` for front-door
+        limits), or pass a complete ``config=`` to take full control.
         """
         self._require_fitted()
-        service = LogLensService(
-            num_partitions=self.config.num_partitions,
-            tokenizer_factory=self.config.make_tokenizer,
-            builder=self._builder,
-            heartbeat_period_steps=self.config.heartbeat_period_steps,
-            expiry_factor=self.config.expiry_factor,
-            min_expiry_millis=self.config.min_expiry_millis,
-            heartbeats_enabled=self.config.heartbeats_enabled,
-            **service_kwargs,
-        )
+        if config is None:
+            config = ServiceConfig(
+                num_partitions=self.config.num_partitions,
+                tokenizer_factory=self.config.make_tokenizer,
+                builder=self._builder,
+                heartbeat_period_steps=self.config.heartbeat_period_steps,
+                expiry_factor=self.config.expiry_factor,
+                min_expiry_millis=self.config.min_expiry_millis,
+                heartbeats_enabled=self.config.heartbeats_enabled,
+            )
+        if service_kwargs:
+            config = config.replace(**service_kwargs)
+        service = LogLensService(config=config)
         service.model_manager.register_built(
             # Re-wrap so the service's model storage holds version 1.
             _as_built(self.pattern_model, self.sequence_model)

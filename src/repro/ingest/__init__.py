@@ -1,0 +1,29 @@
+"""Network ingestion front door (asyncio TCP + HTTP, stdlib only).
+
+Turns the in-process reproduction into a servable system: remote
+clients ship lines over a socket, the server validates framing, batches
+per connection, applies bus-depth backpressure, and feeds the existing
+``LogLensService.ingest`` hot path.  See ``docs/INGESTION.md`` for the
+protocol and the backpressure/shed contract.
+"""
+
+from .client import IngestClient, SendReport
+from .limits import IngestLimits
+from .server import (
+    INGEST_STAGE,
+    IngestServer,
+    IngestServerThread,
+    front_door,
+    service_pending,
+)
+
+__all__ = [
+    "IngestClient",
+    "SendReport",
+    "IngestLimits",
+    "INGEST_STAGE",
+    "IngestServer",
+    "IngestServerThread",
+    "front_door",
+    "service_pending",
+]

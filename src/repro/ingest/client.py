@@ -1,0 +1,212 @@
+"""Sync sender for the TCP front door, with retry via ``RetryPolicy``.
+
+The counterpart of the paper's shipping agent for the network era: a
+blocking client that batches lines, requests an ack per batch
+(``#flush``), and — because the server admits batches all-or-nothing —
+can resend any un-acked batch verbatim after a refusal, an injected
+fault, or a dropped connection without duplicating a single record.
+
+Backoff between attempts runs through the
+:class:`~repro.streaming.retry.RetryPolicy`'s injectable clock, so chaos
+tests retry on a virtual clock with zero wall-clock sleeping.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..errors import IngestError
+from ..streaming.retry import RetryPolicy
+
+__all__ = ["SendReport", "IngestClient"]
+
+
+class _RetryableSendError(Exception):
+    """One attempt failed in a way a fresh connection may heal."""
+
+
+@dataclass
+class SendReport:
+    """What one :meth:`IngestClient.send` call accomplished."""
+
+    accepted: int = 0
+    batches: int = 0
+    retries: int = 0
+
+    def merge(self, other: "SendReport") -> None:
+        self.accepted += other.accepted
+        self.batches += other.batches
+        self.retries += other.retries
+
+
+class IngestClient:
+    """Blocking line-protocol sender (one connection, reconnecting).
+
+    Parameters
+    ----------
+    host / port:
+        The TCP listener of an :class:`~repro.ingest.server.IngestServer`.
+    source:
+        Source name bound to the connection (``#source`` greeting); the
+        service keys bus records by it, preserving per-source order.
+    batch_lines:
+        Lines per acked batch.
+    retry_policy:
+        Governs re-sends of refused/failed batches; defaults to five
+        attempts with short exponential backoff on the wall clock.  Pass
+        a policy on a :class:`~repro.faults.ManualClock` for sleep-free
+        tests.
+    timeout_seconds:
+        Socket connect/read timeout per operation.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        source: str,
+        *,
+        batch_lines: int = 256,
+        retry_policy: Optional[RetryPolicy] = None,
+        timeout_seconds: float = 10.0,
+    ) -> None:
+        if batch_lines < 1:
+            raise ValueError("batch_lines must be >= 1")
+        self.host = host
+        self.port = port
+        self.source = source
+        self.batch_lines = batch_lines
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=5, base_delay_seconds=0.05)
+        )
+        self.timeout_seconds = timeout_seconds
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_seconds
+        )
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        sock.sendall(("#source %s\n" % self.source).encode("utf-8"))
+
+    def _disconnect(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _read_ack(self) -> str:
+        assert self._reader is not None
+        line = self._reader.readline()
+        if not line:
+            raise _RetryableSendError("connection closed before ack")
+        return line.decode("utf-8", "replace").strip()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, lines: Iterable[str]) -> SendReport:
+        """Ship lines in acked batches; retries refused batches.
+
+        Raises :class:`~repro.errors.IngestError` once a batch exhausts
+        the retry budget — by then nothing of that batch was admitted,
+        so the caller can safely re-send later.
+        """
+        report = SendReport()
+        batch: List[str] = []
+        for line in lines:
+            batch.append(line)
+            if len(batch) >= self.batch_lines:
+                report.merge(self._send_batch_with_retry(batch))
+                batch = []
+        if batch:
+            report.merge(self._send_batch_with_retry(batch))
+        return report
+
+    def _send_batch_with_retry(self, batch: List[str]) -> SendReport:
+        policy = self.retry_policy
+        report = SendReport()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                report.accepted += self._send_batch(batch)
+                report.batches += 1
+                return report
+            except _RetryableSendError as exc:
+                self._disconnect()
+                if attempt >= policy.max_attempts:
+                    raise IngestError(
+                        "batch of %d lines not delivered after %d "
+                        "attempts: %s" % (len(batch), attempt, exc)
+                    ) from exc
+                report.retries += 1
+                policy.clock.sleep(policy.delay_for(attempt))
+
+    def _send_batch(self, batch: List[str]) -> int:
+        if self._sock is None:
+            try:
+                self._connect()
+            except OSError as exc:
+                raise _RetryableSendError("connect failed: %s" % exc)
+        assert self._sock is not None
+        payload = "".join("%s\n" % line for line in batch) + "#flush\n"
+        try:
+            self._sock.sendall(payload.encode("utf-8"))
+            ack = self._read_ack()
+        except OSError as exc:
+            raise _RetryableSendError("send failed: %s" % exc)
+        if ack.startswith("+ok "):
+            return int(ack.split()[1])
+        if ack.startswith("-overload") or ack.startswith("-retry"):
+            raise _RetryableSendError(ack)
+        raise IngestError("unexpected ack %r" % ack)
+
+    # ------------------------------------------------------------------
+    def close(self) -> Optional[str]:
+        """Half-close, read the server's ``+bye`` accounting, close.
+
+        Returns the ``+bye`` line (or ``None`` if never connected).
+        """
+        if self._sock is None:
+            return None
+        bye = None
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+            assert self._reader is not None
+            while True:
+                line = self._reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith("+bye"):
+                    bye = text
+                    break
+        except OSError:
+            pass
+        finally:
+            self._disconnect()
+        return bye
+
+    def __enter__(self) -> "IngestClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -1,0 +1,73 @@
+"""Ingestion limits: the one knob object shared by server and config.
+
+Kept dependency-free (no imports from :mod:`repro.service`) so the
+service-layer :class:`~repro.service.config.ServiceConfig` can embed an
+:class:`IngestLimits` without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IngestLimits"]
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Framing and backpressure limits for the network front door.
+
+    Parameters
+    ----------
+    max_line_bytes:
+        Longest raw line accepted (newline excluded).  Longer lines are
+        *rejected*: counted, quarantined with a truncated head for
+        diagnosis, and never silently dropped mid-stream.
+    batch_lines:
+        A connection's receive buffer flushes into the bus once it holds
+        this many lines (clients can force an earlier flush with
+        ``#flush``).
+    queue_max_lines:
+        Hard cap on lines buffered per connection before an implicit
+        flush is forced — bounds per-connection memory even for clients
+        that never send ``#flush``.
+    soft_pending_limit:
+        Bus backlog (un-consumed ingest records) above which the server
+        *slows reads*: it sleeps ``backpressure_delay_seconds`` before
+        the next read, letting TCP flow control push back on clients
+        instead of dropping data.
+    hard_pending_limit:
+        Bus backlog above which the server *sheds*: whole batches are
+        refused with ``-overload`` (TCP) or HTTP 503 — nothing partial
+        is ever admitted, so a refused batch can be retried verbatim
+        with no duplication.
+    backpressure_delay_seconds:
+        How long one backpressure pause lasts.
+    """
+
+    max_line_bytes: int = 65536
+    batch_lines: int = 256
+    queue_max_lines: int = 4096
+    soft_pending_limit: int = 50000
+    hard_pending_limit: int = 200000
+    backpressure_delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
+        if self.batch_lines < 1:
+            raise ValueError("batch_lines must be >= 1")
+        if self.queue_max_lines < self.batch_lines:
+            raise ValueError(
+                "queue_max_lines must be >= batch_lines (%d < %d)"
+                % (self.queue_max_lines, self.batch_lines)
+            )
+        if self.hard_pending_limit < self.soft_pending_limit:
+            raise ValueError(
+                "hard_pending_limit must be >= soft_pending_limit "
+                "(%d < %d)"
+                % (self.hard_pending_limit, self.soft_pending_limit)
+            )
+        if self.backpressure_delay_seconds < 0:
+            raise ValueError(
+                "backpressure_delay_seconds must be >= 0"
+            )

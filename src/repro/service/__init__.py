@@ -11,6 +11,7 @@ wired :class:`~repro.service.loglens_service.LogLensService`.
 
 from .agent import FileTailAgent, ReplayAgent
 from .bus import Consumer, Message, MessageBus, dead_letter_topic
+from .config import ServiceConfig
 from .dashboard import AdHocQuery, Dashboard
 from .fleet import FleetService
 from .heartbeat import HeartbeatController, SourceClock
@@ -51,6 +52,7 @@ __all__ = [
     "LogManagerStats",
     "LogLensService",
     "QuarantineReport",
+    "ServiceConfig",
     "ServiceReport",
     "StepReport",
     "dead_letter_topic",

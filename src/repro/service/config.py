@@ -1,0 +1,119 @@
+"""Service construction API: one frozen config object.
+
+``LogLensService.__init__`` had grown to a dozen keyword arguments;
+:class:`ServiceConfig` is now the primary construction surface::
+
+    config = ServiceConfig(num_partitions=8, storage="sqlite:loglens.db")
+    service = LogLensService(config=config)
+
+The legacy keyword arguments are still accepted for one deprecation
+cycle — they are folded into a config via :meth:`ServiceConfig.from_kwargs`
+— after which ``config=`` becomes the only spelling.  The config is
+frozen so a service's construction parameters are immutable facts a
+running system can report; derive variants with :meth:`replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace as _dc_replace
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..faults import FaultPlan
+from ..ingest.limits import IngestLimits
+from ..obs import MetricsRegistry
+from ..parsing.tokenizer import Tokenizer
+from ..streaming.retry import RetryPolicy
+from .backends import StorageConfig
+from .model_builder import ModelBuilder
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`LogLensService` is built from.
+
+    Parameters
+    ----------
+    num_partitions:
+        Worker count for both streaming stages.
+    tokenizer_factory:
+        Builds one tokenizer per parser worker; defaults to plain
+        :class:`~repro.parsing.tokenizer.Tokenizer`.
+    builder:
+        Model builder used for training and relearn automation.
+    heartbeat_period_steps:
+        Emit heartbeats every N service steps.
+    expiry_factor / min_expiry_millis:
+        Passed to every partition's sequence detector.
+    heartbeats_enabled:
+        The Figure 5 ablation switch.
+    metrics:
+        Observability registry; defaults to the process-global one.
+    retry_policy:
+        How both streaming stages re-execute failing operator calls;
+        defaults to three zero-backoff attempts on a manual clock.
+    fault_plan:
+        Optional fault-injection schedule (chaos testing).
+    storage:
+        ``"memory"`` (default), ``"sqlite:PATH"``, or a pre-parsed
+        :class:`~repro.service.backends.StorageConfig`.
+    ingest:
+        Framing and backpressure limits the network front door applies
+        when this service is served (``loglens serve`` /
+        :func:`repro.ingest.front_door`).
+    """
+
+    num_partitions: int = 4
+    tokenizer_factory: Optional[Callable[[], Tokenizer]] = None
+    builder: Optional[ModelBuilder] = None
+    heartbeat_period_steps: int = 1
+    expiry_factor: float = 2.0
+    min_expiry_millis: int = 1000
+    heartbeats_enabled: bool = True
+    metrics: Optional[MetricsRegistry] = None
+    retry_policy: Optional[RetryPolicy] = None
+    fault_plan: Optional[FaultPlan] = None
+    storage: Union[str, StorageConfig, None] = None
+    ingest: IngestLimits = field(default_factory=IngestLimits)
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "ServiceConfig":
+        """Fold legacy ``LogLensService(...)`` keyword args into a config.
+
+        Unknown names raise ``TypeError`` with the valid field list, so
+        a typo fails exactly as loudly as it did on the old signature.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise TypeError(
+                "unknown service option(s) %s; valid options: %s"
+                % (", ".join(unknown), ", ".join(sorted(valid)))
+            )
+        return cls(**kwargs)
+
+    def replace(self, **changes: Any) -> "ServiceConfig":
+        """A copy with the given fields swapped (config is frozen)."""
+        return _dc_replace(self, **changes)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary of the scalar knobs (for reports/logs)."""
+        return {
+            "num_partitions": self.num_partitions,
+            "heartbeat_period_steps": self.heartbeat_period_steps,
+            "expiry_factor": self.expiry_factor,
+            "min_expiry_millis": self.min_expiry_millis,
+            "heartbeats_enabled": self.heartbeats_enabled,
+            "storage": (
+                self.storage.describe()
+                if isinstance(self.storage, StorageConfig)
+                else (self.storage or "memory")
+            ),
+            "ingest": {
+                "max_line_bytes": self.ingest.max_line_bytes,
+                "batch_lines": self.ingest.batch_lines,
+                "soft_pending_limit": self.ingest.soft_pending_limit,
+                "hard_pending_limit": self.ingest.hard_pending_limit,
+            },
+        }

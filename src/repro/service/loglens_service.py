@@ -25,25 +25,23 @@ paper.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
-    Callable,
     Dict,
     Iterable,
     List,
     Optional,
     Sequence,
     Tuple,
-    Union,
 )
 
 import time as _time
 
 from ..core.anomaly import Anomaly
-from ..faults import FaultPlan, ManualClock
-from ..obs import MetricsRegistry, get_registry
+from ..errors import DeprecationError
+from ..faults import ManualClock
+from ..obs import get_registry
 from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
 from ..parsing.tokenizer import Tokenizer
 from ..sequence.detector import LogSequenceDetector
@@ -52,8 +50,9 @@ from ..streaming.engine import StreamingContext, WorkerContext
 from ..streaming.records import StreamRecord
 from ..streaming.retry import QuarantinedRecord, RetryPolicy
 from ..streaming.state import StateMap
-from .backends import StorageConfig, parse_storage_spec
+from .backends import parse_storage_spec
 from .bus import MessageBus
+from .config import ServiceConfig
 from .heartbeat import HeartbeatController
 from .log_manager import LogManager
 from .model_builder import BuiltModels, ModelBuilder
@@ -65,6 +64,7 @@ __all__ = [
     "StepReport",
     "QuarantineReport",
     "ServiceReport",
+    "ServiceConfig",
     "LogLensService",
     "PARSE_STAGE",
     "SEQUENCE_STAGE",
@@ -154,73 +154,62 @@ class ServiceReport:
 class LogLensService:
     """The complete system of Figure 1, runnable in one process.
 
-    Parameters
-    ----------
-    num_partitions:
-        Worker count for both streaming stages.
-    tokenizer_factory:
-        Builds one tokenizer per parser worker (each worker gets its own
-        timestamp-format cache); defaults to plain :class:`Tokenizer`.
-    builder:
-        Model builder used for training and relearn automation.
-    heartbeat_period_steps:
-        Emit heartbeats every N service steps (default 1).
-    expiry_factor / min_expiry_millis:
-        Passed to every partition's sequence detector.
-    heartbeats_enabled:
-        The Figure 5 ablation switch.
-    retry_policy:
-        How both streaming stages re-execute failing operator calls.
-        Defaults to three zero-backoff attempts on a manual clock — so a
-        transient operator failure is healed in-place with no wall-clock
-        sleeping, and a record that keeps failing is quarantined to a
-        dead-letter topic instead of killing the step.  Pass
-        ``RetryPolicy(max_attempts=1, on_exhaust="raise")`` for legacy
-        fail-fast behaviour.
-    fault_plan:
-        Optional :class:`~repro.faults.FaultPlan` installed across both
-        streaming contexts and the heartbeat controller (chaos testing).
-    storage:
-        Storage backend spec: ``"memory"`` (default, the indexed
-        in-memory stores), ``"sqlite:PATH"`` (all three stores persist
-        into one WAL-mode SQLite database at PATH, surviving restarts),
-        or a pre-parsed :class:`~repro.service.backends.StorageConfig`.
-        When the database already holds model versions from an earlier
-        run, the latest models are republished into the pipeline at
-        construction — a restarted service resumes detecting without
-        retraining, and can replay / rebuild from the persisted
-        archive.  Call :meth:`close` to checkpoint and release the
-        database.
+    Construction
+    ------------
+    The primary surface is one frozen config object::
+
+        service = LogLensService(config=ServiceConfig(num_partitions=8))
+
+    See :class:`~repro.service.config.ServiceConfig` for every knob
+    (partitions, heartbeat cadence, expiry, metrics, retry, faults,
+    storage, and the network-ingestion limits).  The pre-config keyword
+    arguments (``LogLensService(num_partitions=8, ...)``) remain
+    accepted for one deprecation cycle and are folded into a config;
+    mixing ``config=`` with legacy keywords is an error.
+
+    Storage note: when a persistent database already holds model
+    versions from an earlier run, the latest models are republished into
+    the pipeline at construction — a restarted service resumes detecting
+    without retraining, and can replay / rebuild from the persisted
+    archive.  Call :meth:`close` to checkpoint and release the database.
     """
 
     def __init__(
         self,
-        num_partitions: int = 4,
-        tokenizer_factory: Optional[Callable[[], Tokenizer]] = None,
-        builder: Optional[ModelBuilder] = None,
-        heartbeat_period_steps: int = 1,
-        expiry_factor: float = 2.0,
-        min_expiry_millis: int = 1000,
-        heartbeats_enabled: bool = True,
-        metrics: Optional[MetricsRegistry] = None,
-        retry_policy: Optional[RetryPolicy] = None,
-        fault_plan: Optional[FaultPlan] = None,
-        storage: Union[str, StorageConfig, None] = None,
+        config: Optional[ServiceConfig] = None,
+        **legacy_kwargs: Any,
     ) -> None:
-        self.tokenizer_factory = tokenizer_factory or Tokenizer
-        self.heartbeat_period_steps = max(1, heartbeat_period_steps)
-        self.expiry_factor = expiry_factor
-        self.min_expiry_millis = min_expiry_millis
-        self.heartbeats_enabled = heartbeats_enabled
+        if config is not None and legacy_kwargs:
+            raise TypeError(
+                "pass either config=ServiceConfig(...) or legacy keyword "
+                "arguments, not both (got config plus %s)"
+                % ", ".join(sorted(legacy_kwargs))
+            )
+        if config is None:
+            config = ServiceConfig.from_kwargs(**legacy_kwargs)
+        #: The frozen construction parameters of this service.
+        self.config = config
+        num_partitions = config.num_partitions
+        self.tokenizer_factory = config.tokenizer_factory or Tokenizer
+        self.heartbeat_period_steps = max(
+            1, config.heartbeat_period_steps
+        )
+        self.expiry_factor = config.expiry_factor
+        self.min_expiry_millis = config.min_expiry_millis
+        self.heartbeats_enabled = config.heartbeats_enabled
         #: One registry spans every layer of this service (bus, parsing,
         #: engine, heartbeat); snapshot it with :meth:`report`.
-        self.metrics = metrics if metrics is not None else get_registry()
+        self.metrics = (
+            config.metrics if config.metrics is not None else get_registry()
+        )
         self.retry_policy = (
-            retry_policy
-            if retry_policy is not None
+            config.retry_policy
+            if config.retry_policy is not None
             else RetryPolicy.no_wait(max_attempts=3, clock=ManualClock())
         )
+        fault_plan = config.fault_plan
         self.fault_plan = fault_plan
+        builder = config.builder
 
         # Transport and storage plane.  The backend is pluggable: the
         # in-memory default, or one shared SQLite(WAL) database so the
@@ -228,7 +217,7 @@ class LogLensService:
         self.bus = MessageBus(metrics=self.metrics)
         self.bus.ensure_topic("logs.raw", partitions=num_partitions)
         self.bus.ensure_topic("logs.ingest", partitions=num_partitions)
-        self.storage_config = parse_storage_spec(storage)
+        self.storage_config = parse_storage_spec(config.storage)
         self.storage_database = None
         if self.storage_config.kind == "sqlite":
             from .sqlite_store import (
@@ -778,24 +767,18 @@ class LogLensService:
         )
 
     # ------------------------------------------------------------------
-    # Deprecated aliases (pre-report() surface)
+    # Retired aliases (pre-report() surface; warning cycle completed)
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """Deprecated: use :meth:`report` (``report().metrics``)."""
-        warnings.warn(
-            "LogLensService.metrics_snapshot() is deprecated; use "
-            "report().metrics",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use :meth:`report` (``report().metrics``)."""
+        raise DeprecationError(
+            "LogLensService.metrics_snapshot()",
+            "LogLensService.report().metrics",
         )
-        return self.metrics.to_dict()
 
     def stats(self) -> Dict[str, Any]:
-        """Deprecated: use :meth:`report` (``report().counters()``)."""
-        warnings.warn(
-            "LogLensService.stats() is deprecated; use "
-            "report().counters()",
-            DeprecationWarning,
-            stacklevel=2,
+        """Removed: use :meth:`report` (``report().counters()``)."""
+        raise DeprecationError(
+            "LogLensService.stats()",
+            "LogLensService.report(include_metrics=False).counters()",
         )
-        return self.report(include_metrics=False).counters()

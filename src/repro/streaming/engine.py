@@ -50,7 +50,12 @@ from typing import (
     Sequence,
 )
 
-from ..errors import OperatorError, PartitioningError, QuarantinedRecordError
+from ..errors import (
+    DeprecationError,
+    OperatorError,
+    PartitioningError,
+    QuarantinedRecordError,
+)
 from ..obs import Counter, MetricsRegistry, get_registry
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
 from .partitioner import HashPartitioner, HeartbeatAwarePartitioner, partition_records
@@ -102,12 +107,11 @@ class _Node:
 class Collector:
     """A terminal sink safe to read while parallel workers append.
 
-    ``DStream.collect`` hands back the *live* output list, which callers
-    can iterate torn mid-batch when ``parallel=True`` — an appending
-    worker thread may resize the list under the iteration.
     :meth:`snapshot` returns a consistent copy taken under the same lock
     the appenders hold; call it at batch boundaries (after ``run_batch``
     returns, all appends for that batch have happened-before the caller).
+    :meth:`view` wraps the collector in a read-only sequence for callers
+    that want container semantics.
     """
 
     def __init__(self) -> None:
@@ -258,17 +262,18 @@ class DStream:
         return self._attach("sink", fn)
 
     def collect(self) -> "CollectedRecords":
-        """Terminal sink; returns a read-only snapshot-backed view.
+        """Removed: use :meth:`collector` (warning cycle completed).
 
-        .. deprecated::
-            Prefer :meth:`collector`, the documented terminal API: its
-            ``snapshot()``/``drain()`` make the copy semantics explicit.
-            ``collect`` remains for convenience but now returns a
-            :class:`CollectedRecords` view — every read is a consistent
-            snapshot, and no public path hands back the live mutable
-            list that parallel workers append to.
+        ``collector()`` is the documented terminal API — its
+        ``snapshot()``/``drain()`` make the copy semantics explicit, and
+        ``collector().view()`` reproduces exactly what ``collect()``
+        used to return.
         """
-        return self.collector().view()
+        raise DeprecationError(
+            "DStream.collect()",
+            "DStream.collector() (read with .snapshot()/.drain(), or "
+            ".view() for the old sequence surface)",
+        )
 
     def collector(self) -> Collector:
         """Terminal sink into a :class:`Collector` (snapshot semantics).

@@ -63,6 +63,12 @@ _EXPECTED = {
         "RelearnAutomation", "replay", "compare_models",
         "ModelComparison", "ReplayOutcome", "ServiceReport",
         "QuarantineReport", "StepReport", "dead_letter_topic",
+        "ServiceConfig",
+    ],
+    "repro.ingest": [
+        "IngestClient", "SendReport", "IngestLimits", "INGEST_STAGE",
+        "IngestServer", "IngestServerThread", "front_door",
+        "service_pending",
     ],
     "repro.baselines": [
         "NaiveGrokParser", "LinearScanTimestampDetector",
@@ -95,7 +101,7 @@ def test_cli_entry_point():
     commands = parser._subparsers._group_actions[0].choices
     assert set(commands) == {
         "train", "detect", "inspect", "parse", "watch", "quality",
-        "metrics", "chaos", "bench", "query",
+        "metrics", "chaos", "bench", "query", "serve",
     }
 
 

@@ -1,0 +1,122 @@
+"""IngestClient retry behaviour against injected front-door faults."""
+
+import pytest
+
+from repro.errors import IngestError
+from repro.faults import FaultPlan, ManualClock
+from repro.ingest import IngestClient, IngestServer, IngestServerThread
+from repro.obs import MetricsRegistry
+from repro.streaming.retry import RetryPolicy
+
+from tests.ingest.test_server import RecordingSink
+
+
+@pytest.fixture
+def sink():
+    return RecordingSink()
+
+
+def serve(request, sink, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    thread = IngestServerThread(IngestServer(sink, **kwargs)).start()
+    request.addfinalizer(thread.stop)
+    return thread
+
+
+def client_for(thread, clock, *, max_attempts=5, batch_lines=4):
+    return IngestClient(
+        "127.0.0.1",
+        thread.tcp_port,
+        "retry-test",
+        batch_lines=batch_lines,
+        retry_policy=RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay_seconds=0.01,
+            clock=clock,
+        ),
+    )
+
+
+class TestRetries:
+    def test_failed_batch_admissions_heal_without_duplication(
+        self, request, sink
+    ):
+        clock = ManualClock()
+        plan = FaultPlan(clock=clock).fail_first("ingest.batch", 2)
+        thread = serve(request, sink, fault_plan=plan)
+        lines = ["record %d" % i for i in range(10)]
+        with client_for(thread, clock) as client:
+            report = client.send(lines)
+        assert report.accepted == 10
+        assert report.retries == 2
+        assert sink.lines == lines  # exactly once, in order
+        assert thread.server.retried_batches_total == 2
+        assert thread.server.accepted_total == 10
+        assert clock.total_slept > 0  # backoff ran on the virtual clock
+
+    def test_dropped_connection_reconnects_and_resends(
+        self, request, sink
+    ):
+        clock = ManualClock()
+        plan = FaultPlan(clock=clock).fail_first("ingest.accept", 1)
+        thread = serve(request, sink, fault_plan=plan)
+        lines = ["record %d" % i for i in range(6)]
+        with client_for(thread, clock) as client:
+            report = client.send(lines)
+        assert report.accepted == 6
+        assert report.retries >= 1
+        assert sink.lines == lines
+        assert thread.server.dropped_connections_total == 1
+
+    def test_overload_refusal_is_retryable(self, request, sink):
+        # pending(): huge for the first flush probe, drained afterwards
+        # — the first batch is shed (-overload), the resend is admitted.
+        calls = [0]
+
+        def pending():
+            calls[0] += 1
+            return 10**9 if calls[0] <= 2 else 0
+
+        clock = ManualClock()
+        from repro.ingest import IngestLimits
+
+        thread = serve(
+            request,
+            sink,
+            pending=pending,
+            limits=IngestLimits(
+                soft_pending_limit=10**8,
+                hard_pending_limit=10**8,
+                backpressure_delay_seconds=0.001,
+            ),
+        )
+        lines = ["record %d" % i for i in range(4)]
+        with client_for(thread, clock) as client:
+            report = client.send(lines)
+        assert report.accepted == 4
+        assert report.retries == 1
+        assert sink.lines == lines  # shed batch was never admitted
+        assert thread.server.shed_total == 4
+
+    def test_exhausted_budget_raises_with_nothing_admitted(
+        self, request, sink
+    ):
+        clock = ManualClock()
+        plan = FaultPlan(clock=clock).fail_first("ingest.batch", 50)
+        thread = serve(request, sink, fault_plan=plan)
+        client = client_for(thread, clock, max_attempts=3)
+        with pytest.raises(IngestError, match="3 attempts"):
+            client.send(["a", "b"])
+        client.close()
+        assert sink.lines == []
+        assert thread.server.accepted_total == 0
+
+
+class TestValidation:
+    def test_batch_lines_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch_lines"):
+            IngestClient("127.0.0.1", 1, "x", batch_lines=0)
+
+    def test_close_without_connecting_is_a_noop(self):
+        client = IngestClient("127.0.0.1", 1, "x")
+        assert client.close() is None

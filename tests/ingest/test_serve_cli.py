@@ -1,0 +1,84 @@
+"""`loglens serve` as a real subprocess: the operator's view end to end."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+from repro.ingest import IngestClient
+
+from tests.service.test_loglens_service import event_lines, training_lines
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+@pytest.fixture
+def training_file(tmp_path):
+    path = tmp_path / "train.log"
+    path.write_text("\n".join(training_lines()) + "\n")
+    return path
+
+
+def spawn_serve(training_file, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--train", str(training_file),
+            "--tcp-port", "0", "--http-port", "0",
+            "--step-seconds", "0.05", "--max-steps", "100",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        cwd=REPO,
+    )
+    banner = process.stderr.readline()
+    match = re.search(r"tcp=[^:]+:(\d+) http=[^:]+:(\d+)", banner)
+    assert match, "no listening banner, got: %r" % banner
+    return process, int(match.group(1)), int(match.group(2))
+
+
+class TestServeSubprocess:
+    def test_tcp_and_http_lines_become_anomaly_json(
+        self, training_file
+    ):
+        process, tcp_port, http_port = spawn_serve(training_file)
+        try:
+            # One finished event and one the client never closes: the
+            # open event must surface as a missing_end anomaly when the
+            # server flushes on shutdown.
+            with IngestClient(
+                "127.0.0.1", tcp_port, "edge-1"
+            ) as client:
+                client.send(event_lines("ok-1", 1))
+                client.send(event_lines("hang-1", 2, finish=False))
+            body = ("\n".join(event_lines("hang-2", 3, finish=False))
+                    + "\n").encode()
+            request = urllib.request.Request(
+                "http://127.0.0.1:%d/ingest?source=web" % http_port,
+                data=body,
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert json.loads(response.read())["accepted"] == 2
+            stdout, stderr = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        docs = [json.loads(line) for line in stdout.splitlines()]
+        by_type = sorted(d["type"] for d in docs)
+        assert by_type == ["missing_end", "missing_end"]
+        assert {d["source"] for d in docs} == {"edge-1", "web"}
+        summary = stderr.strip().splitlines()[-1]
+        assert summary.startswith("served 7 lines")
+        assert "2 anomalies, 0 shed, 0 rejected" in summary

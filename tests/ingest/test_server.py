@@ -1,0 +1,361 @@
+"""Protocol-level tests for the asyncio TCP/HTTP front door."""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ingest import IngestLimits, IngestServer, IngestServerThread
+from repro.ingest.server import _LineAssembler
+from repro.obs import MetricsRegistry
+
+
+class RecordingSink:
+    """Thread-safe sink capturing every (lines, source) batch."""
+
+    def __init__(self):
+        self.batches = []
+        self._lock = threading.Lock()
+
+    def __call__(self, lines, source):
+        with self._lock:
+            self.batches.append((list(lines), source))
+        return len(lines)
+
+    @property
+    def lines(self):
+        with self._lock:
+            return [
+                line for batch, _ in self.batches for line in batch
+            ]
+
+    @property
+    def sources(self):
+        with self._lock:
+            return sorted({source for _, source in self.batches})
+
+
+class RejectLog:
+    def __init__(self):
+        self.entries = []
+        self._lock = threading.Lock()
+
+    def __call__(self, head, source, reason):
+        with self._lock:
+            self.entries.append((head, source, reason))
+
+    def reasons(self):
+        with self._lock:
+            return [reason for _, _, reason in self.entries]
+
+
+@pytest.fixture
+def sink():
+    return RecordingSink()
+
+
+@pytest.fixture
+def rejects():
+    return RejectLog()
+
+
+def serve(request, sink, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    thread = IngestServerThread(IngestServer(sink, **kwargs)).start()
+    request.addfinalizer(thread.stop)
+    return thread
+
+
+class Session:
+    """A raw line-protocol TCP session for exact ack assertions."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=5
+        )
+        self.reader = self.sock.makefile("rb")
+
+    def send(self, text):
+        self.sock.sendall(text.encode("utf-8"))
+
+    def readline(self):
+        return self.reader.readline().decode().strip()
+
+    def finish(self):
+        """Half-close; returns every remaining server line."""
+        self.sock.shutdown(socket.SHUT_WR)
+        lines = [raw.decode().strip() for raw in self.reader]
+        self.sock.close()
+        return lines
+
+    def abort(self):
+        """Hard close without the EOF handshake."""
+        self.sock.close()
+
+
+class TestLineAssembler:
+    def test_splits_lines_and_strips_crlf(self):
+        assembler = _LineAssembler(1024)
+        events = assembler.feed(b"one\r\ntwo\nthr")
+        assert events == [("line", "one"), ("line", "two")]
+        assert assembler.feed(b"ee\n") == [("line", "three")]
+        assert assembler.partial() is None
+
+    def test_oversized_line_cannot_poison_the_framing(self):
+        assembler = _LineAssembler(8)
+        events = assembler.feed(b"x" * 100)  # mid-flood, no newline yet
+        assert events == []
+        events = assembler.feed(b"yyy\nok\n")
+        assert events == [("oversized", "x" * 100), ("line", "ok")]
+
+    def test_partial_tail_is_reported_not_shipped(self):
+        assembler = _LineAssembler(1024)
+        assert assembler.feed(b"done\nhalf") == [("line", "done")]
+        assert assembler.partial() == "half"
+
+
+class TestTcpProtocol:
+    def test_flush_acks_and_bye_accounting(self, request, sink):
+        thread = serve(request, sink)
+        session = Session(thread.tcp_port)
+        session.send("alpha\nbeta\n#flush\n")
+        assert session.readline() == "+ok 2"
+        session.send("gamma\n#flush\n")
+        assert session.readline() == "+ok 1"
+        assert session.finish() == ["+bye 3 0 0"]
+        assert sink.lines == ["alpha", "beta", "gamma"]
+
+    def test_source_frame_binds_the_connection(self, request, sink):
+        thread = serve(request, sink, default_source="edge")
+        anon = Session(thread.tcp_port)
+        anon.send("one\n#flush\n")
+        assert anon.readline() == "+ok 1"
+        anon.finish()
+        named = Session(thread.tcp_port)
+        named.send("#source app-7\ntwo\n#flush\n")
+        assert named.readline() == "+ok 1"
+        named.finish()
+        assert sink.batches[0][0] == ["one"]
+        assert sink.batches[0][1].startswith("edge:")
+        assert sink.batches[1] == (["two"], "app-7")
+
+    def test_bad_control_frames_are_rejected_with_accounting(
+        self, request, sink, rejects
+    ):
+        thread = serve(request, sink, reject_sink=rejects)
+        session = Session(thread.tcp_port)
+        session.send("#source \n")
+        assert session.readline() == "-err source"
+        session.send("#nonsense\n")
+        assert session.readline() == "-err unknown-control"
+        session.send("fine\n")
+        assert session.finish() == ["+ok 1", "+bye 1 0 2"]
+        assert rejects.reasons() == ["bad-source", "unknown-control"]
+        assert sink.lines == ["fine"]
+
+    def test_oversized_line_rejected_but_neighbours_survive(
+        self, request, sink, rejects
+    ):
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(max_line_bytes=32),
+            reject_sink=rejects,
+        )
+        session = Session(thread.tcp_port)
+        session.send("short one\n" + "z" * 500 + "\nshort two\n#flush\n")
+        assert session.readline() == "+ok 2"
+        assert session.finish() == ["+bye 2 0 1"]
+        assert sink.lines == ["short one", "short two"]
+        (entry,) = rejects.entries
+        assert entry[2] == "oversized"
+        assert entry[0].startswith("zzz")
+
+    def test_batch_boundary_auto_flushes_without_ack(self, request, sink):
+        thread = serve(request, sink, limits=IngestLimits(batch_lines=2))
+        session = Session(thread.tcp_port)
+        session.send("a\nb\nc\n")
+        # The mid-stream auto-flush is silent on success; only the EOF
+        # flush of the remainder acks before the accounting line.
+        assert session.finish() == ["+ok 1", "+bye 3 0 0"]
+        assert sink.batches[0][0] == ["a", "b"]
+        assert sink.batches[1][0] == ["c"]
+
+    def test_unterminated_tail_is_rejected_not_shipped(
+        self, request, sink, rejects
+    ):
+        thread = serve(request, sink, reject_sink=rejects)
+        session = Session(thread.tcp_port)
+        session.send("whole\npart-without-newline")
+        assert session.finish() == ["+ok 1", "+bye 1 0 1"]
+        assert sink.lines == ["whole"]
+        assert rejects.entries == [
+            ("part-without-newline", rejects.entries[0][1], "unterminated")
+        ]
+
+
+class TestBackpressure:
+    def test_soft_limit_pauses_reads_instead_of_dropping(
+        self, request, sink
+    ):
+        state = {"pending": 10**9}
+        waits = []
+
+        async def sleeper(delay):
+            waits.append(delay)
+            state["pending"] = 0  # the backlog drains while we pause
+
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(soft_pending_limit=10),
+            pending=lambda: state["pending"],
+            check_pending_every=1,
+            sleeper=sleeper,
+        )
+        session = Session(thread.tcp_port)
+        session.send("one\ntwo\n#flush\n")
+        assert session.readline() == "+ok 2"
+        session.finish()
+        assert waits  # the pause really happened...
+        assert sink.lines == ["one", "two"]  # ...and nothing was lost
+        assert thread.server.backpressure_waits_total >= 1
+        assert thread.server.shed_total == 0
+
+    def test_hard_limit_sheds_whole_batches_and_recovers(
+        self, request, sink
+    ):
+        state = {"pending": 10**9}
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(
+                soft_pending_limit=100,
+                hard_pending_limit=100,
+                backpressure_delay_seconds=0.001,
+            ),
+            pending=lambda: state["pending"],
+        )
+        session = Session(thread.tcp_port)
+        session.send("a\nb\nc\n#flush\n")
+        assert session.readline() == "-overload 3"
+        assert sink.lines == []  # all-or-nothing: nothing was admitted
+        state["pending"] = 0
+        session.send("a\nb\nc\n#flush\n")  # the client resends verbatim
+        assert session.readline() == "+ok 3"
+        assert session.finish() == ["+bye 3 3 0"]
+        assert sink.lines == ["a", "b", "c"]  # exactly once
+        assert thread.server.shed_total == 3
+
+
+class TestHttp:
+    def post(self, port, body, path="/ingest", headers=None):
+        request = urllib.request.Request(
+            "http://127.0.0.1:%d%s" % (port, path),
+            data=body,
+            method="POST",
+            headers=headers or {},
+        )
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+
+    def test_post_ingest_with_query_source(self, request, sink):
+        thread = serve(request, sink)
+        status, doc = self.post(
+            thread.http_port, b"a\nb\n", path="/ingest?source=web-1"
+        )
+        assert (status, doc) == (200, {"accepted": 2, "rejected": 0})
+        assert sink.batches == [(["a", "b"], "web-1")]
+
+    def test_post_ingest_with_header_source(self, request, sink):
+        thread = serve(request, sink)
+        status, doc = self.post(
+            thread.http_port,
+            b"one\n",
+            headers={"X-LogLens-Source": "hdr-src"},
+        )
+        assert (status, doc) == (200, {"accepted": 1, "rejected": 0})
+        assert sink.sources == ["hdr-src"]
+
+    def test_healthz_reports_counters(self, request, sink):
+        thread = serve(request, sink)
+        self.post(thread.http_port, b"x\n")
+        with urllib.request.urlopen(
+            "http://127.0.0.1:%d/healthz" % thread.http_port, timeout=5
+        ) as response:
+            doc = json.loads(response.read())
+        assert doc["status"] == "ok"
+        assert doc["accepted_total"] == 1
+
+    def test_unknown_path_and_method(self, request, sink):
+        thread = serve(request, sink)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(thread.http_port, b"x\n", path="/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                "http://127.0.0.1:%d/ingest" % thread.http_port,
+                timeout=5,
+            )
+        assert excinfo.value.code == 405
+
+    def test_oversized_lines_rejected_per_line(
+        self, request, sink, rejects
+    ):
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(max_line_bytes=16),
+            reject_sink=rejects,
+        )
+        status, doc = self.post(
+            thread.http_port, b"tiny\n" + b"w" * 400 + b"\n"
+        )
+        assert (status, doc) == (200, {"accepted": 1, "rejected": 1})
+        assert sink.lines == ["tiny"]
+        assert rejects.reasons() == ["oversized"]
+
+    def test_overload_returns_503_and_admits_nothing(self, request, sink):
+        state = {"pending": 10**9}
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(
+                soft_pending_limit=100, hard_pending_limit=100
+            ),
+            pending=lambda: state["pending"],
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(thread.http_port, b"a\nb\n")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["shed"] == 2
+        assert sink.lines == []
+        state["pending"] = 0
+        status, doc = self.post(thread.http_port, b"a\nb\n")
+        assert (status, doc["accepted"]) == (200, 2)
+
+
+class TestMetrics:
+    def test_traffic_shows_up_in_the_ingest_families(self, request, sink):
+        registry = MetricsRegistry()
+        thread = serve(
+            request,
+            sink,
+            metrics=registry,
+            limits=IngestLimits(max_line_bytes=32),
+        )
+        session = Session(thread.tcp_port)
+        session.send("ok line\n" + "y" * 100 + "\n#flush\n")
+        assert session.readline() == "+ok 1"
+        session.finish()
+        assert registry.counter("ingest.accepted").value == 1
+        assert registry.counter("ingest.rejected").value == 1
+        assert (
+            registry.counter("ingest.connections", transport="tcp").value
+            == 1
+        )
+        histogram = registry.histogram("ingest.batch_ingest_seconds")
+        assert histogram.count == 1

@@ -1,0 +1,95 @@
+"""`loglens chaos --socket`: fault-injected loopback ingestion, end to end.
+
+The chaos command's socket mode arms `ingest.accept` / `ingest.batch`
+faults and ships the stream through real TCP clients.  These tests are
+the CI chaos-loop entry point for the network front door: they must
+stay deterministic under repetition, so every assertion is about exact
+accounting, not timing.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.service.test_loglens_service import event_lines, training_lines
+
+
+@pytest.fixture
+def training_file(tmp_path):
+    path = tmp_path / "train.log"
+    path.write_text("\n".join(training_lines()) + "\n")
+    return path
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    lines = [
+        line
+        for event in range(20)
+        for line in event_lines("sc-%03d" % event, event % 50)
+    ]
+    path = tmp_path / "stream.log"
+    path.write_text("\n".join(lines) + "\n")
+    return path, len(lines)
+
+
+class TestSocketChaos:
+    def test_drops_and_failed_batches_heal_zero_loss(
+        self, training_file, stream_file, capsys
+    ):
+        stream, expected = stream_file
+        rc = main(
+            [
+                "chaos", str(stream), "--train", str(training_file),
+                "--socket", "--drop-connections", "2",
+                "--fail-batches", "2", "--clients", "4",
+                "--fail-first", "0", "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ingested"] == expected
+        assert doc["lost"] == 0
+        transport = doc["transport"]
+        assert transport["clients"] == 4
+        assert transport["server_accepted"] == expected
+        assert transport["server_shed"] == 0
+        assert transport["server_rejected"] == 0
+        # Every injected fault actually fired and was healed by a
+        # client retry — no silent no-op chaos.
+        assert transport["dropped_connections"] == 2
+        assert transport["batch_retries"] == 2
+        assert transport["client_retries"] >= 2
+        assert transport["errors"] == []
+
+    def test_clean_socket_run_summary_line(
+        self, training_file, stream_file, capsys
+    ):
+        stream, expected = stream_file
+        rc = main(
+            [
+                "chaos", str(stream), "--train", str(training_file),
+                "--socket", "--clients", "2", "--fail-first", "0",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "%d ingested" % expected in captured.out
+        assert "socket: 2 clients" in captured.out
+        assert "(0 dropped)" in captured.out
+        assert "OK: all %d records accounted for" % expected in captured.err
+
+    def test_socket_flags_require_socket_mode(
+        self, training_file, stream_file, capsys
+    ):
+        stream, _ = stream_file
+        rc = main(
+            [
+                "chaos", str(stream), "--train", str(training_file),
+                "--drop-connections", "1",
+            ]
+        )
+        assert rc == 2
+        assert "--socket" in capsys.readouterr().err

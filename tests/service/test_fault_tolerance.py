@@ -133,14 +133,17 @@ class TestReportFacade:
         assert doc["quarantine"]["quarantined"] == 1
         assert set(doc) >= LEGACY_STATS_KEYS
 
-    def test_deprecated_aliases_warn_and_delegate(self):
+    def test_retired_aliases_raise_with_migration_hint(self):
+        from repro.errors import DeprecationError
+
         service = trained_service()
-        with pytest.warns(DeprecationWarning, match="report"):
-            stats = service.stats()
-        assert stats == service.report(include_metrics=False).counters()
-        with pytest.warns(DeprecationWarning, match="report"):
-            snapshot = service.metrics_snapshot()
-        assert set(snapshot) == set(service.report().metrics)
+        with pytest.raises(DeprecationError, match="report"):
+            service.stats()
+        with pytest.raises(DeprecationError, match="report"):
+            service.metrics_snapshot()
+        # The hint names the replacement, which still works.
+        assert service.report(include_metrics=False).counters()
+        assert service.report().metrics is not None
 
 
 class TestHeartbeatFaults:

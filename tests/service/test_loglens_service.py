@@ -41,7 +41,7 @@ class TestTraining:
         service = trained_service()
         assert service.model_storage.latest_version("pattern_model") == 1
         assert service.model_storage.latest_version("sequence_model") == 1
-        stats = service.stats()
+        stats = service.report(include_metrics=False).counters()
         assert stats["model_updates"] == 2
         assert stats["downtime_seconds"] == 0.0
 
@@ -128,7 +128,7 @@ class TestLiveModelUpdate:
         service.final_flush()
         # No new anomaly: the automaton is gone; service never restarted.
         assert service.anomaly_storage.count() == 1
-        assert service.stats()["downtime_seconds"] == 0.0
+        assert service.report(include_metrics=False).counters()["downtime_seconds"] == 0.0
 
     def test_pattern_model_update_changes_parsing(self):
         service = trained_service()
@@ -161,7 +161,7 @@ class TestHeartbeatCadence:
 
     def test_stats_keys_stable(self):
         service = trained_service()
-        stats = service.stats()
+        stats = service.report(include_metrics=False).counters()
         assert set(stats) == {
             "steps", "logs_archived", "anomalies", "open_events",
             "parse_batches", "sequence_batches", "model_updates",

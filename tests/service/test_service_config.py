@@ -1,0 +1,102 @@
+"""ServiceConfig: the one construction surface for LogLensService."""
+
+import dataclasses
+
+import pytest
+
+from repro.ingest import IngestLimits
+from repro.obs import MetricsRegistry
+from repro.service import LogLensService, ServiceConfig
+
+from tests.service.test_loglens_service import training_lines
+
+
+class TestConfigConstruction:
+    def test_config_is_the_primary_path(self):
+        config = ServiceConfig(
+            num_partitions=2, heartbeats_enabled=False
+        )
+        service = LogLensService(config=config)
+        assert service.config is config
+        assert service.heartbeats_enabled is False
+        assert len(service.parse_ctx.workers) == 2
+        service.close()
+
+    def test_legacy_kwargs_fold_into_a_config(self):
+        service = LogLensService(num_partitions=3, expiry_factor=4.0)
+        assert isinstance(service.config, ServiceConfig)
+        assert service.config.num_partitions == 3
+        assert service.config.expiry_factor == 4.0
+        service.close()
+
+    def test_config_plus_kwargs_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            LogLensService(
+                config=ServiceConfig(), num_partitions=2
+            )
+
+    def test_unknown_kwarg_lists_the_valid_fields(self):
+        with pytest.raises(TypeError) as excinfo:
+            LogLensService(num_partitons=2)  # typo on purpose
+        message = str(excinfo.value)
+        assert "num_partitons" in message
+        assert "num_partitions" in message  # the fix is in the list
+
+    def test_from_kwargs_rejects_unknowns_directly(self):
+        with pytest.raises(TypeError, match="bogus"):
+            ServiceConfig.from_kwargs(bogus=1)
+
+
+class TestFrozenSemantics:
+    def test_config_is_immutable(self):
+        config = ServiceConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.num_partitions = 99
+
+    def test_replace_derives_a_variant(self):
+        base = ServiceConfig(num_partitions=2)
+        variant = base.replace(num_partitions=8)
+        assert base.num_partitions == 2
+        assert variant.num_partitions == 8
+        # Untouched fields carry over.
+        assert variant.heartbeat_period_steps == base.heartbeat_period_steps
+
+    def test_one_config_builds_many_services(self):
+        config = ServiceConfig(
+            num_partitions=2, metrics=MetricsRegistry()
+        )
+        first = LogLensService(config=config)
+        second = LogLensService(config=config)
+        first.train(training_lines())
+        # The sibling is unaffected: config holds parameters, not state.
+        assert first.model_storage.names() != []
+        assert second.model_storage.names() == []
+        first.close()
+        second.close()
+
+
+class TestDescribe:
+    def test_describe_is_json_safe_scalars(self):
+        config = ServiceConfig(
+            num_partitions=5,
+            storage="sqlite:/tmp/x.db",
+            ingest=IngestLimits(batch_lines=7),
+        )
+        doc = config.describe()
+        assert doc["num_partitions"] == 5
+        assert doc["storage"] == "sqlite:/tmp/x.db"
+        assert doc["ingest"]["batch_lines"] == 7
+        assert ServiceConfig().describe()["storage"] == "memory"
+
+    def test_ingest_limits_flow_to_the_front_door(self):
+        from repro.ingest import front_door
+
+        config = ServiceConfig(
+            num_partitions=2,
+            ingest=IngestLimits(batch_lines=9, max_line_bytes=123),
+        )
+        service = LogLensService(config=config)
+        server = front_door(service)
+        assert server.limits.batch_lines == 9
+        assert server.limits.max_line_bytes == 123
+        service.close()

@@ -15,7 +15,7 @@ class TestGraphExecution:
         ctx = StreamingContext(num_partitions=2)
         out = ctx.source().map(
             lambda r, w: StreamRecord(value=r.value * 2, key=r.key)
-        ).collect()
+        ).collector().view()
         ctx.run_batch(
             [StreamRecord(value=i, key=str(i)) for i in range(5)]
         )
@@ -25,7 +25,7 @@ class TestGraphExecution:
         ctx = StreamingContext(num_partitions=1)
         out = ctx.source().map(
             lambda r, w: r if r.value % 2 == 0 else None
-        ).collect()
+        ).collector().view()
         ctx.run_batch(records(0, 1, 2, 3))
         assert [r.value for r in out] == [0, 2]
 
@@ -35,21 +35,21 @@ class TestGraphExecution:
             lambda r, w: [
                 StreamRecord(value=r.value), StreamRecord(value=-r.value)
             ]
-        ).collect()
+        ).collector().view()
         ctx.run_batch(records(1, 2))
         assert [r.value for r in out] == [1, -1, 2, -2]
 
     def test_filter(self):
         ctx = StreamingContext(num_partitions=1)
-        out = ctx.source().filter(lambda r: r.value > 1).collect()
+        out = ctx.source().filter(lambda r: r.value > 1).collector().view()
         ctx.run_batch(records(0, 1, 2, 3))
         assert [r.value for r in out] == [2, 3]
 
     def test_branching(self):
         ctx = StreamingContext(num_partitions=1)
         src = ctx.source()
-        evens = src.filter(lambda r: r.value % 2 == 0).collect()
-        odds = src.filter(lambda r: r.value % 2 == 1).collect()
+        evens = src.filter(lambda r: r.value % 2 == 0).collector().view()
+        odds = src.filter(lambda r: r.value % 2 == 1).collector().view()
         ctx.run_batch(records(1, 2, 3, 4))
         assert [r.value for r in evens] == [2, 4]
         assert [r.value for r in odds] == [1, 3]
@@ -61,7 +61,7 @@ class TestGraphExecution:
             .map(lambda r, w: StreamRecord(value=r.value + 1))
             .filter(lambda r: r.value > 2)
             .map(lambda r, w: StreamRecord(value=r.value * 10))
-            .collect()
+            .collector().view()
         )
         ctx.run_batch(records(0, 1, 2, 3))
         assert [r.value for r in out] == [30, 40]
@@ -87,7 +87,7 @@ class TestKeyedState:
             state.put(record.key, n)
             yield StreamRecord(value=(record.key, n), key=record.key)
 
-        out = ctx.source().map_with_state(count).collect()
+        out = ctx.source().map_with_state(count).collector().view()
         batch = [StreamRecord(value=i, key="a") for i in range(3)]
         ctx.run_batch(batch)
         ctx.run_batch(batch[:1])
@@ -160,7 +160,7 @@ class TestModelUpdates:
             state.put("persistent", state.get("persistent", 0) + 1)
             yield StreamRecord(value=state.get("persistent"))
 
-        out = ctx.source().map_with_state(op).collect()
+        out = ctx.source().map_with_state(op).collector().view()
         ctx.run_batch(records(1))
         ctx.rebroadcast(bv, "m2")
         ctx.run_batch(records(2))
@@ -174,7 +174,7 @@ class TestParallelMode:
             ctx = StreamingContext(num_partitions=4, parallel=parallel)
             out = ctx.source().map(
                 lambda r, w: StreamRecord(value=r.value * 3, key=r.key)
-            ).collect()
+            ).collector().view()
             ctx.run_batch(
                 [StreamRecord(value=i, key="k%d" % i) for i in range(50)]
             )

@@ -25,7 +25,7 @@ class TestTransientFailuresHealed:
             retry_policy=RetryPolicy.no_wait(max_attempts=3),
             fault_plan=plan,
         )
-        out = ctx.source().map(lambda r, w: r).collect()
+        out = ctx.source().map(lambda r, w: r).collector().view()
         ctx.run_batch(records(5))
         assert sorted(r.value for r in out) == [0, 1, 2, 3, 4]
         assert ctx.retries_total == 2
@@ -40,7 +40,7 @@ class TestTransientFailuresHealed:
             retry_policy=RetryPolicy.no_wait(max_attempts=3),
             fault_plan=plan,
         )
-        ctx.source().map(lambda r, w: r).collect()
+        ctx.source().map(lambda r, w: r).collector().view()
         batch = ctx.run_batch(records(3))
         assert batch.retries == 2
         assert batch.quarantined == 0
@@ -57,7 +57,7 @@ class TestTransientFailuresHealed:
             ),
             fault_plan=plan,
         )
-        out = ctx.source().map(lambda r, w: r).collect()
+        out = ctx.source().map(lambda r, w: r).collector().view()
         ctx.run_batch(records(1))
         assert len(out) == 1
         assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
@@ -72,7 +72,7 @@ class TestQuarantine:
             retry_policy=RetryPolicy.no_wait(max_attempts=3),
             fault_plan=plan,
         )
-        out = ctx.source().map(lambda r, w: r).collect()
+        out = ctx.source().map(lambda r, w: r).collector().view()
         batch = ctx.run_batch([
             StreamRecord(value="ok-1", key="a"),
             StreamRecord(value="bad", key="b", source="app"),
@@ -96,7 +96,7 @@ class TestQuarantine:
             dead_letter=seen.append,
             fault_plan=plan,
         )
-        ctx.source().map(lambda r, w: r).collect()
+        ctx.source().map(lambda r, w: r).collector().view()
         ctx.run_batch(records(2))
         assert len(seen) == 2
         assert all(q.attempts == 2 for q in seen)
@@ -109,7 +109,7 @@ class TestQuarantine:
         def explode(record, worker):
             raise RuntimeError("always fails")
 
-        ctx.source().map(explode).collect()
+        ctx.source().map(explode).collector().view()
         ctx.run_batch(records(1))
         assert ctx.retries_total == 0
         assert len(seen) == 1
@@ -123,7 +123,7 @@ class TestQuarantine:
             ),
             fault_plan=plan,
         )
-        ctx.source().map(lambda r, w: r).collect()
+        ctx.source().map(lambda r, w: r).collector().view()
         with pytest.raises(QuarantinedRecordError) as exc:
             ctx.run_batch(records(1))
         assert exc.value.attempts == 2
@@ -140,8 +140,8 @@ class TestQuarantine:
             fault_plan=plan,
         )
         src = ctx.source()
-        failing = src.map(lambda r, w: r).collect()   # node id 1
-        healthy = src.map(lambda r, w: r).collect()
+        failing = src.map(lambda r, w: r).collector().view()   # node id 1
+        healthy = src.map(lambda r, w: r).collector().view()
         ctx.run_batch(records(3))
         assert sorted(r.value for r in failing) == [0, 2]
         assert sorted(r.value for r in healthy) == [0, 1, 2]
@@ -161,7 +161,7 @@ class TestStatefulAndBroadcastUnderFaults:
             yield record
 
         stream = ctx.source().map_with_state(count)
-        out = stream.collect()
+        out = stream.collector().view()
         ctx.run_batch([StreamRecord(value=i, key="k") for i in range(4)])
         assert len(out) == 4
         assert ctx.retries_total == 2
@@ -184,7 +184,7 @@ class TestStatefulAndBroadcastUnderFaults:
             model = bv.get_value(worker.block_manager)
             return StreamRecord(value=model["version"], key=record.key)
 
-        out = ctx.source().map(read_model).collect()
+        out = ctx.source().map(read_model).collector().view()
         ctx.run_batch(records(3))
         assert [r.value for r in out] == [1, 1, 1]
         assert ctx.retries_total == 1
@@ -202,7 +202,7 @@ class TestStatefulAndBroadcastUnderFaults:
             model = bv.get_value(worker.block_manager)
             return StreamRecord(value=model["version"], key=record.key)
 
-        out = ctx.source().map(read_model).collect()
+        out = ctx.source().map(read_model).collector().view()
         ctx.run_batch(records(2))
         ctx.rebroadcast(bv, {"version": 2})
         ctx.run_batch(records(2))
@@ -225,7 +225,7 @@ class TestTimeouts:
             ),
             fault_plan=plan,
         )
-        out = ctx.source().map(lambda r, w: r).collect()
+        out = ctx.source().map(lambda r, w: r).collector().view()
         ctx.run_batch(records(1))
         assert len(out) == 1
         assert ctx.retries_total == 1
@@ -243,7 +243,7 @@ class TestTimeouts:
             ),
             fault_plan=plan,
         )
-        ctx.source().map(lambda r, w: r).collect()
+        ctx.source().map(lambda r, w: r).collector().view()
         ctx.run_batch(records(1))
         (q,) = ctx.quarantine.snapshot()
         assert q.error_type == "OperatorError"
@@ -255,7 +255,7 @@ class TestLegacyFailFast:
         """Without a retry policy the engine behaves exactly as before."""
         plan = FaultPlan().fail_first("operator:map:*", 1)
         ctx = make_ctx(fault_plan=plan)
-        ctx.source().map(lambda r, w: r).collect()
+        ctx.source().map(lambda r, w: r).collector().view()
         with pytest.raises(FaultInjected):
             ctx.run_batch(records(1))
 
@@ -269,7 +269,7 @@ class TestLegacyFailFast:
         def explode(record, worker):
             raise RuntimeError("not retryable")
 
-        ctx.source().map(explode).collect()
+        ctx.source().map(explode).collector().view()
         with pytest.raises(RuntimeError):
             ctx.run_batch(records(1))
         assert ctx.retries_total == 0

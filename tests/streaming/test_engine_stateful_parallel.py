@@ -25,7 +25,7 @@ class TestParallelStateful:
         finals = []
         for parallel in (False, True):
             ctx = StreamingContext(num_partitions=4, parallel=parallel)
-            out = ctx.source().map_with_state(_counting_op).collect()
+            out = ctx.source().map_with_state(_counting_op).collector().view()
             for batch in batches:
                 ctx.run_batch(batch)
             ctx.shutdown()
@@ -109,10 +109,10 @@ class TestEngineInvariants:
 
     def test_two_sources_run_independently(self):
         ctx = StreamingContext(num_partitions=1)
-        a_out = ctx.source().collect()
+        a_out = ctx.source().collector().view()
         b_out = ctx.source().map(
             lambda r, w: StreamRecord(value=r.value * -1)
-        ).collect()
+        ).collector().view()
         ctx.run_batch([StreamRecord(value=5)])
         assert [r.value for r in a_out] == [5]
         assert [r.value for r in b_out] == [-5]

@@ -155,7 +155,7 @@ class TestRunBatchPartitionerValidation:
         """A partitioner producing more buckets than workers used to have
         its trailing buckets silently zip-dropped — lost records."""
         ctx = StreamingContext(num_partitions=2)
-        out = ctx.source().collect()
+        out = ctx.source().collector().view()
         ctx.partitioner = HashPartitioner(5)
         with pytest.raises(ValueError) as exc:
             ctx.run_batch([StreamRecord(value=1, key="k")])
@@ -165,7 +165,7 @@ class TestRunBatchPartitionerValidation:
     def test_matching_custom_partitioner_still_works(self):
         ctx = StreamingContext(num_partitions=3)
         ctx.partitioner = HashPartitioner(3)
-        out = ctx.source().collect()
+        out = ctx.source().collector().view()
         ctx.run_batch([StreamRecord(value=i, key=str(i)) for i in range(9)])
         assert len(out) == 9
 
@@ -190,6 +190,6 @@ class TestCollector:
 
     def test_collect_list_is_live_but_batch_stable(self):
         ctx = StreamingContext(num_partitions=2)
-        out = ctx.source().collect()
+        out = ctx.source().collector().view()
         ctx.run_batch([StreamRecord(value=1, key="a")])
         assert len(out) == 1
