@@ -721,6 +721,7 @@ def _chaos_over_socket(service, lines, args, clock):
             "127.0.0.1",
             server_thread.tcp_port,
             "%s-%d" % (args.source, index),
+            batch_lines=door.limits.batch_lines,
             retry_policy=policy,
         )
         try:

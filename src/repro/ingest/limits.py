@@ -23,13 +23,20 @@ class IngestLimits:
         *rejected*: counted, quarantined with a truncated head for
         diagnosis, and never silently dropped mid-stream.
     batch_lines:
-        A connection's receive buffer flushes into the bus once it holds
-        this many lines (clients can force an earlier flush with
-        ``#flush``).
+        Nominal lines per acked client batch: the chunk size the
+        service wires into :class:`~repro.ingest.client.IngestClient`
+        senders, and the HTTP admission unit — ``POST /ingest`` bodies
+        larger than ``batch_lines * max_line_bytes`` bytes are refused
+        with 413 before being read.  The TCP server never flushes on
+        this bound; it flushes only on ``#flush``, at EOF, or at
+        ``queue_max_lines``.
     queue_max_lines:
-        Hard cap on lines buffered per connection before an implicit
-        flush is forced — bounds per-connection memory even for clients
-        that never send ``#flush``.
+        Hard cap on lines buffered per connection before a flush is
+        forced — bounds per-connection memory even for clients that
+        never send ``#flush``.  A forced flush is silent on success
+        (its accepted count is carried into the next solicited ack);
+        acked clients must keep their batches at or below this cap for
+        resend-without-duplication to hold.
     soft_pending_limit:
         Bus backlog (un-consumed ingest records) above which the server
         *slows reads*: it sleeps ``backpressure_delay_seconds`` before

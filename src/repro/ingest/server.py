@@ -8,20 +8,29 @@ the reproduction — stdlib-only, one event loop, two listeners:
 
 * **TCP** (:data:`TCP framing <IngestServer>`): line-delimited UTF-8.
   Control lines start with ``#`` (``#source <name>`` binds the
-  connection's source, ``#flush`` forces a batch flush and requests an
-  ack).  Every flush is acknowledged — ``+ok <n>`` once the batch is on
-  the bus, ``-retry <n>`` when an injected/transient failure discarded
-  it *before* produce, ``-overload <n>`` when the shed policy refused
-  it.  On EOF the server flushes what remains and answers
-  ``+bye <accepted> <shed> <rejected>``.  Because a batch is either
-  fully produced (acked ``+ok``) or not produced at all, a client that
-  resends un-acked batches gets at-least-once delivery with **no
-  duplication under the failure modes the chaos harness injects**
-  (pre-produce faults).
+  connection's source, ``#flush`` flushes the buffered batch and
+  requests an ack).  The server flushes **only** on ``#flush``, at EOF,
+  or — for senders that never flush — once the buffer hits the
+  ``queue_max_lines`` memory cap.  Every solicited flush is
+  acknowledged: ``+ok <n>`` once the batch is on the bus, ``-retry
+  <n>`` when an injected/transient failure discarded it *before*
+  produce, ``-overload <n>`` when the shed policy refused it.  A forced
+  ``queue_max_lines`` flush is silent on success; its accepted count is
+  carried into the next solicited ack so client-side accounting always
+  matches server admission (refusals are still written, so a
+  fire-and-forget sender sees them).  On EOF the server flushes what
+  remains and answers ``+bye <accepted> <shed> <rejected>``.  Because
+  nothing is admitted ahead of a client's ``#flush`` (as long as its
+  batches stay within ``queue_max_lines``), a client that resends
+  un-acked batches gets at-least-once delivery with **no duplication
+  under the failure modes the chaos harness injects** (pre-produce
+  faults).
 * **HTTP** (one-shot clients, health checks): ``POST /ingest`` with a
   newline-delimited body; ``?source=`` or ``X-LogLens-Source`` names
   the source; 200 carries ``{"accepted": n, "rejected": m}``, 503 means
-  the whole body was shed (retry later, nothing was admitted).
+  nothing was admitted and the body is safe to retry verbatim (shed at
+  the hard limit, or a transient admission failure), 413 refuses bodies
+  over ``batch_lines * max_line_bytes`` bytes before reading them.
   ``GET /healthz`` reports counters.
 
 **Backpressure** (:class:`~repro.ingest.limits.IngestLimits`): when the
@@ -139,13 +148,25 @@ class _LineAssembler:
 class _Connection:
     """Per-TCP-connection state: source binding, batch, counters."""
 
-    __slots__ = ("peer", "source", "batch", "accepted", "shed", "rejected")
+    __slots__ = (
+        "peer",
+        "source",
+        "batch",
+        "accepted",
+        "unacked_accepted",
+        "shed",
+        "rejected",
+    )
 
     def __init__(self, peer: str, source: str) -> None:
         self.peer = peer
         self.source = source
         self.batch: List[str] = []
         self.accepted = 0
+        # Admitted by a forced (queue_max_lines) flush but not yet
+        # reported in a solicited ack — carried into the next one so
+        # client accounting matches server admission.
+        self.unacked_accepted = 0
         self.shed = 0
         self.rejected = 0
 
@@ -220,6 +241,7 @@ class IngestServer:
         self._requested_http_port = http_port
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._http_server: Optional[asyncio.AbstractServer] = None
+        self._handler_tasks: set = set()
 
         # Lifetime totals (mutated on the event loop thread only; read
         # cross-thread by tests and the serve driver — plain ints are
@@ -269,9 +291,23 @@ class IngestServer:
             )
 
     async def stop(self) -> None:
+        """Close listeners, cancel in-flight handlers, wait for close.
+
+        Handlers are cancelled *before* ``wait_closed()`` — on Python
+        >= 3.12.1 ``wait_closed()`` waits for every connection handler,
+        so awaiting it with a client still connected would block
+        forever.
+        """
         for server in (self._tcp_server, self._http_server):
             if server is not None:
                 server.close()
+        tasks = [t for t in self._handler_tasks if not t.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
                 await server.wait_closed()
         self._tcp_server = None
         self._http_server = None
@@ -290,6 +326,13 @@ class IngestServer:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def _track_handler(self) -> None:
+        """Register the current connection handler task for shutdown."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+
     def _invoke_fault(self, site: str, subject: Any) -> None:
         if self.fault_plan is not None:
             self.fault_plan.invoke(site, lambda: None, subject=subject)
@@ -312,17 +355,28 @@ class IngestServer:
             self._c_http_status[status] = counter
         return counter
 
-    def _flush(self, conn: _Connection) -> str:
-        """Flush one connection's batch; returns the ack line.
+    def _flush(
+        self, conn: _Connection, *, solicited: bool = True
+    ) -> Optional[str]:
+        """Flush one connection's batch; returns the ack line to write.
 
         The batch either lands on the bus in full (``+ok``) or is
         discarded before produce (``-retry`` / ``-overload``); there is
         no partial admission, which is what makes client-side resend
         duplication-free.
+
+        An unsolicited flush (the forced ``queue_max_lines`` cap) is
+        silent on success — returns ``None`` and carries its accepted
+        count in ``conn.unacked_accepted`` until the next solicited ack
+        — but still returns refusal lines, so a fire-and-forget sender
+        sees shedding instead of mistaking it for acceptance.
         """
         count = len(conn.batch)
         if count == 0:
-            return "+ok 0"
+            if not solicited:
+                return None
+            carried, conn.unacked_accepted = conn.unacked_accepted, 0
+            return "+ok %d" % carried
         if (
             self.pending is not None
             and self._pending_now() >= self.limits.hard_pending_limit
@@ -347,7 +401,11 @@ class IngestServer:
         self.accepted_total += accepted
         self.batches_total += 1
         self._c_accepted.inc(accepted)
-        return "+ok %d" % accepted
+        if not solicited:
+            conn.unacked_accepted += accepted
+            return None
+        carried, conn.unacked_accepted = conn.unacked_accepted, 0
+        return "+ok %d" % (accepted + carried)
 
     # ------------------------------------------------------------------
     # TCP protocol
@@ -355,6 +413,7 @@ class IngestServer:
     async def _handle_tcp(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._track_handler()
         peername = writer.get_extra_info("peername")
         peer = (
             "%s:%s" % (peername[0], peername[1])
@@ -405,13 +464,13 @@ class IngestServer:
                     if not payload.strip():
                         continue
                     conn.batch.append(payload)
-                    if len(conn.batch) >= self.limits.batch_lines:
-                        ack = self._flush(conn)
-                        if not ack.startswith("+"):
-                            # Unsolicited flushes must still surface
-                            # refusals, or silent shedding would look
-                            # like acceptance to a fire-and-forget
-                            # sender.
+                    if len(conn.batch) >= self.limits.queue_max_lines:
+                        # Hard per-connection memory cap: flush without
+                        # being asked.  Never triggered by an acked
+                        # client whose batches fit the cap — that is
+                        # what keeps its resend logic duplication-free.
+                        ack = self._flush(conn, solicited=False)
+                        if ack is not None:
                             writer.write(ack.encode() + b"\n")
                             await writer.drain()
             # EOF: flush the remainder, then the final accounting line.
@@ -460,6 +519,7 @@ class IngestServer:
     async def _handle_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._track_handler()
         self.http_requests_total += 1
         self._c_http_connections.inc()
         try:
@@ -469,7 +529,7 @@ class IngestServer:
         self._http_status_counter(status).inc()
         payload = json.dumps(body, sort_keys=True).encode()
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
                   503: "Service Unavailable"}.get(status, "Error")
         try:
             writer.write(
@@ -520,6 +580,19 @@ class IngestServer:
             length = int(headers.get("content-length", "0"))
         except ValueError:
             return 400, {"error": "bad-content-length"}
+        if length < 0:
+            return 400, {"error": "bad-content-length"}
+        # Bound the body before reading it: the TCP path caps per-line
+        # and per-connection memory, so a claimed Content-Length must
+        # not be able to buffer unbounded bytes either.
+        max_body_bytes = (
+            self.limits.batch_lines * self.limits.max_line_bytes
+        )
+        if length > max_body_bytes:
+            return 413, {
+                "error": "body-too-large",
+                "limit_bytes": max_body_bytes,
+            }
         body = await reader.readexactly(length) if length else b""
         query = parse_qs(split.query)
         source = (
@@ -550,8 +623,16 @@ class IngestServer:
         accepted = 0
         if lines:
             started = time.perf_counter()
-            self._invoke_fault("ingest.batch", source)
-            accepted = self.sink(lines, source)
+            try:
+                self._invoke_fault("ingest.batch", source)
+                accepted = self.sink(lines, source)
+            except Exception:
+                # Server-side failure, not a client error: nothing was
+                # admitted, so tell the client to retry verbatim —
+                # mirrors the TCP ``-retry`` semantics.
+                self.retried_batches_total += 1
+                self._c_retried.inc()
+                return 503, {"error": "retry", "rejected": rejected}
             self._h_batch_latency.observe(time.perf_counter() - started)
             self.accepted_total += accepted
             self.batches_total += 1
@@ -592,10 +673,10 @@ class IngestServerThread:
         try:
             loop.run_forever()
         finally:
+            # stop() cancels the connection handlers itself; the sweep
+            # below catches any stray task so no transport outlives the
+            # loop.
             loop.run_until_complete(self.server.stop())
-            # Connection handlers may still be parked on a read; cancel
-            # them and let the cancellations unwind before the loop
-            # closes, or their transports would outlive it.
             pending = asyncio.all_tasks(loop)
             for task in pending:
                 task.cancel()

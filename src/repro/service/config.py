@@ -113,7 +113,11 @@ class ServiceConfig:
             "ingest": {
                 "max_line_bytes": self.ingest.max_line_bytes,
                 "batch_lines": self.ingest.batch_lines,
+                "queue_max_lines": self.ingest.queue_max_lines,
                 "soft_pending_limit": self.ingest.soft_pending_limit,
                 "hard_pending_limit": self.ingest.hard_pending_limit,
+                "backpressure_delay_seconds": (
+                    self.ingest.backpressure_delay_seconds
+                ),
             },
         }

@@ -98,6 +98,25 @@ class TestRetries:
         assert sink.lines == lines  # shed batch was never admitted
         assert thread.server.shed_total == 4
 
+    def test_full_batches_matching_server_config_ack_exactly(
+        self, request, sink
+    ):
+        # Regression: the server used to flush on its own batch_lines,
+        # so a client batch of the same size arrived to find the buffer
+        # already admitted and its `#flush` was acked `+ok 0`.
+        from repro.ingest import IngestLimits
+
+        clock = ManualClock()
+        thread = serve(request, sink, limits=IngestLimits(batch_lines=4))
+        lines = ["record %d" % i for i in range(12)]
+        with client_for(thread, clock, batch_lines=4) as client:
+            report = client.send(lines)
+        assert report.accepted == 12
+        assert report.batches == 3
+        assert report.retries == 0
+        assert sink.lines == lines  # exactly once, in order
+        assert thread.server.accepted_total == 12
+
     def test_exhausted_budget_raises_with_nothing_admitted(
         self, request, sink
     ):

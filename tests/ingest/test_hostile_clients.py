@@ -171,14 +171,16 @@ class TestBurstThenSilence:
     def test_unflushed_remainder_waits_then_lands_at_eof(self, request):
         service = trained_service()
         thread = front(
-            request, service, limits=IngestLimits(batch_lines=8)
+            request,
+            service,
+            limits=IngestLimits(batch_lines=8, queue_max_lines=8),
         )
-        lines = event_lines("bs-%d" % 0, 0) * 7  # 21 lines: 2 batches + 5
+        lines = event_lines("bs-%d" % 0, 0) * 7  # 21 lines: 2 caps + 5
         sock, reader = raw_connection(thread.tcp_port)
         sock.sendall(
             ("".join("%s\n" % line for line in lines)).encode()
         )
-        # The full batches auto-flush; the remainder must NOT be
+        # The queue cap forces two flushes; the remainder must NOT be
         # admitted while the client goes silent.
         assert wait_until(lambda: thread.server.accepted_total == 16)
         time.sleep(0.1)  # silence

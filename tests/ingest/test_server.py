@@ -3,6 +3,7 @@
 import json
 import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -174,13 +175,43 @@ class TestTcpProtocol:
         assert entry[2] == "oversized"
         assert entry[0].startswith("zzz")
 
-    def test_batch_boundary_auto_flushes_without_ack(self, request, sink):
+    def test_no_flush_ahead_of_the_clients_flush(self, request, sink):
+        # batch_lines is the *client's* chunk size; the server must not
+        # admit anything early, or the client's `#flush` would be acked
+        # `+ok 0` and its accounting (and resend safety) would break.
         thread = serve(request, sink, limits=IngestLimits(batch_lines=2))
         session = Session(thread.tcp_port)
+        session.send("a\nb\nc\n#flush\n")
+        assert session.readline() == "+ok 3"
+        assert session.finish() == ["+bye 3 0 0"]
+        assert sink.batches[0][0] == ["a", "b", "c"]
+
+    def test_queue_cap_flushes_silently_and_carries_the_count(
+        self, request, sink
+    ):
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(batch_lines=2, queue_max_lines=2),
+        )
+        session = Session(thread.tcp_port)
+        # The cap forces [a, b] out silently; its count rides on the
+        # next solicited ack so nothing is ever acked twice or lost.
+        session.send("a\nb\nc\n#flush\n")
+        assert session.readline() == "+ok 3"
+        assert session.finish() == ["+bye 3 0 0"]
+        assert sink.batches[0][0] == ["a", "b"]
+        assert sink.batches[1][0] == ["c"]
+
+    def test_eof_flush_carries_forced_flush_counts(self, request, sink):
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(batch_lines=2, queue_max_lines=2),
+        )
+        session = Session(thread.tcp_port)
         session.send("a\nb\nc\n")
-        # The mid-stream auto-flush is silent on success; only the EOF
-        # flush of the remainder acks before the accounting line.
-        assert session.finish() == ["+ok 1", "+bye 3 0 0"]
+        assert session.finish() == ["+ok 3", "+bye 3 0 0"]
         assert sink.batches[0][0] == ["a", "b"]
         assert sink.batches[1][0] == ["c"]
 
@@ -318,6 +349,45 @@ class TestHttp:
         assert sink.lines == ["tiny"]
         assert rejects.reasons() == ["oversized"]
 
+    def test_sink_failure_returns_retryable_503(self, request, sink):
+        state = {"broken": True}
+
+        def flaky(lines, source):
+            if state["broken"]:
+                raise RuntimeError("sink down")
+            return sink(lines, source)
+
+        thread = serve(request, flaky)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(thread.http_port, b"a\nb\n")
+        # A server-side failure is NOT a client error: nothing was
+        # admitted, and 503 tells the client to retry verbatim.
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read()) == {
+            "error": "retry",
+            "rejected": 0,
+        }
+        assert sink.batches == []
+        state["broken"] = False
+        status, doc = self.post(thread.http_port, b"a\nb\n")
+        assert (status, doc["accepted"]) == (200, 2)
+        assert sink.lines == ["a", "b"]
+        assert thread.server.retried_batches_total == 1
+
+    def test_oversized_body_refused_before_reading(self, request, sink):
+        thread = serve(
+            request,
+            sink,
+            limits=IngestLimits(
+                batch_lines=2, queue_max_lines=2, max_line_bytes=8
+            ),
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(thread.http_port, b"x" * 64)
+        assert excinfo.value.code == 413
+        assert json.loads(excinfo.value.read())["limit_bytes"] == 16
+        assert sink.batches == []
+
     def test_overload_returns_503_and_admits_nothing(self, request, sink):
         state = {"pending": 10**9}
         thread = serve(
@@ -336,6 +406,25 @@ class TestHttp:
         state["pending"] = 0
         status, doc = self.post(thread.http_port, b"a\nb\n")
         assert (status, doc["accepted"]) == (200, 2)
+
+
+class TestLifecycle:
+    def test_stop_with_connected_client_does_not_deadlock(
+        self, request, sink
+    ):
+        # Regression: on Python >= 3.12.1 Server.wait_closed() waits
+        # for every connection handler, so stop() must cancel handlers
+        # *before* awaiting it or a parked reader deadlocks the loop.
+        thread = serve(request, sink)
+        session = Session(thread.tcp_port)
+        session.send("never flushed\n")
+        time.sleep(0.05)
+        worker = thread._thread
+        started = time.monotonic()
+        thread.stop()
+        assert time.monotonic() - started < 5
+        assert worker is not None and not worker.is_alive()
+        session.abort()
 
 
 class TestMetrics:

@@ -81,6 +81,34 @@ class TestSocketChaos:
         assert "(0 dropped)" in captured.out
         assert "OK: all %d records accounted for" % expected in captured.err
 
+    def test_full_client_batches_are_acked_exactly(
+        self, training_file, tmp_path, capsys
+    ):
+        # Regression: per-client volume >= the client's batch size
+        # (256) used to collide with the server's own flush bound, so
+        # every full batch was acked `+ok 0` and the duplication gate
+        # tripped (exit 3) on a fault-free run.
+        lines = [
+            line
+            for event in range(90)
+            for line in event_lines("fb-%03d" % event, event % 50)
+        ]
+        assert len(lines) >= 256
+        stream = tmp_path / "big-stream.log"
+        stream.write_text("\n".join(lines) + "\n")
+        rc = main(
+            [
+                "chaos", str(stream), "--train", str(training_file),
+                "--socket", "--clients", "1", "--fail-first", "0",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ingested"] == len(lines)
+        assert doc["transport"]["server_accepted"] == len(lines)
+        assert doc["lost"] == 0
+
     def test_socket_flags_require_socket_mode(
         self, training_file, stream_file, capsys
     ):
