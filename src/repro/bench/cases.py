@@ -51,6 +51,16 @@ Primary cases (each emits one ``BENCH_<case>.json``):
     through a real loopback :class:`~repro.ingest.server.IngestServer`
     into a bus topic — the network front door's admission hot path
     (framing, batching, ack round-trips) under client concurrency.
+``engine_serial`` / ``engine_multiprocess``
+    The same full-size parser workload pushed through a
+    :class:`~repro.streaming.engine.StreamingContext` micro-batch on the
+    serial backend versus the process backend (one long-lived worker
+    process per partition).  The pair isolates the multicore execution
+    question from the rest of the service: identical records, identical
+    operator graph, only the backend differs.  Worker processes are
+    started and warmed during the excluded warmup runs, so the timed
+    samples measure steady-state batches (pickled record buckets out,
+    emitted records back), not spawn cost.
 
 Derived cases (computed from primary samples, no extra timing):
 
@@ -60,6 +70,11 @@ Derived cases (computed from primary samples, no extra timing):
 ``service_metrics_overhead``
     Per-repeat ratio of metrics-on to metrics-off service time; the
     observability tax, lower is better.
+``engine_multicore_speedup``
+    Per-repeat ratio of serial-backend to process-backend engine time;
+    the multicore payoff, higher is better.  On single-core runners the
+    honest value is *below* 1 (IPC overhead with no parallelism to buy
+    back); see ``docs/PARALLELISM.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +100,7 @@ from ..service.sqlite_store import (
     run_readonly_sql,
 )
 from ..service.storage import AnomalyStorage, DocumentStore
+from ..streaming import StreamRecord, StreamingContext
 from .harness import BenchCase, CaseResult, run_case, summarize
 from .workloads import (
     bus_workload,
@@ -278,9 +294,11 @@ def _parser_cases(params: Dict[str, Any]) -> List[BenchCase]:
     ]
 
 
-def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
+def _service_cases(
+    params: Dict[str, Any], execution: str = "serial"
+) -> List[BenchCase]:
     events = params["events_per_workflow"]
-    case_params = {"events_per_workflow": events}
+    case_params = {"events_per_workflow": events, "execution": execution}
     shared: Dict[str, Any] = {}
 
     def load():
@@ -290,7 +308,9 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
 
     def replay(workload, metrics):
         service = LogLensService(
-            config=ServiceConfig(num_partitions=4, metrics=metrics)
+            config=ServiceConfig(
+                num_partitions=4, metrics=metrics, execution=execution
+            )
         )
         service.model_manager.register_built(workload.models)
         service.model_manager.publish_all()
@@ -298,6 +318,7 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
         service.ingest(workload.lines, source="bench")
         service.run_until_drained()
         service.final_flush()
+        service.close()
         return service
 
     def run_metrics_on(workload):
@@ -334,6 +355,123 @@ def _service_cases(params: Dict[str, Any]) -> List[BenchCase]:
             records=lambda w: len(w.lines),
             check=check_drained,
             group="service",
+        ),
+    ]
+
+
+class _EngineParseOp:
+    """Picklable flat-map operator for the engine backend cases.
+
+    Mirrors the service's parse stage: the pattern model arrives via
+    broadcast, one :class:`FastLogParser` lives resident per partition
+    (cached on the worker context), and every raw line becomes a parsed
+    record.  Lives at module level so ``spawn`` worker processes can
+    unpickle it by import.
+    """
+
+    def __init__(self, model_bv: Any) -> None:
+        self.model_bv = model_bv
+
+    def __call__(self, record: StreamRecord, worker: Any) -> Any:
+        model = self.model_bv.get_value(worker.block_manager)
+        parser = getattr(worker, "_bench_parser", None)
+        if parser is None or parser.model is not model:
+            parser = FastLogParser(
+                model, tokenizer=Tokenizer(), metrics=NullRegistry()
+            )
+            worker._bench_parser = parser
+        return [StreamRecord(value=parser.parse(record.value))]
+
+
+def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    """Serial vs process backend over one micro-batched parser workload."""
+    templates = params["templates"]
+    logs = params["logs"]
+    partitions = 4
+    case_params = {
+        "templates": templates,
+        "logs": logs,
+        "partitions": partitions,
+    }
+    shared: Dict[str, Any] = {}
+
+    def load():
+        if "workload" not in shared:
+            w = parser_workload(templates, logs)
+            # Per-record keys spread the bucket evenly across all
+            # partitions (round-robin by index), so every worker gets
+            # logs/partitions records per batch.
+            shared["workload"] = (
+                w,
+                [
+                    StreamRecord(value=line, key="k%d" % i)
+                    for i, line in enumerate(w.lines)
+                ],
+            )
+        return shared["workload"]
+
+    def make_setup(execution):
+        def setup():
+            w, recs = load()
+            ctx = StreamingContext(
+                num_partitions=partitions,
+                metrics=NullRegistry(),
+                execution=execution,
+            )
+            model_bv = ctx.broadcast(w.model)
+            collector = (
+                ctx.source().flat_map(_EngineParseOp(model_bv)).collector()
+            )
+            # One small batch here starts the worker processes (spawn +
+            # interpreter boot) and warms each partition's resident
+            # parser, so even a warmup=0 invocation never times either.
+            ctx.run_batch(recs[: min(64, len(recs))])
+            collector.clear()
+            return (ctx, collector, recs)
+
+        return setup
+
+    def run_engine(state):
+        ctx, collector, recs = state
+        collector.clear()
+        ctx.run_batch(recs)
+        return len(collector)
+
+    def make_check(name):
+        def check(state, parsed):
+            ctx, collector, recs = state
+            unparsed = sum(
+                1
+                for r in collector.snapshot()
+                if not hasattr(r.value, "fields")
+            )
+            ctx.shutdown()
+            if parsed != len(recs) or unparsed:
+                raise AssertionError(
+                    "%s: %d of %d records emitted, %d unparsed on a "
+                    "train==test corpus" % (name, parsed, len(recs), unparsed)
+                )
+
+        return check
+
+    return [
+        BenchCase(
+            name="engine_serial",
+            params=case_params,
+            setup=make_setup("serial"),
+            run=run_engine,
+            records=lambda s: len(s[2]),
+            check=make_check("engine_serial"),
+            group="engine",
+        ),
+        BenchCase(
+            name="engine_multiprocess",
+            params=case_params,
+            setup=make_setup("processes"),
+            run=run_engine,
+            records=lambda s: len(s[2]),
+            check=make_check("engine_multiprocess"),
+            group="engine",
         ),
     ]
 
@@ -718,12 +856,20 @@ def _data_plane_cases(params: Dict[str, Any]) -> List[BenchCase]:
     ]
 
 
-def build_cases(quick: bool = False) -> List[BenchCase]:
-    """The primary case catalog at quick (CI) or full (local) size."""
+def build_cases(
+    quick: bool = False, execution: str = "serial"
+) -> List[BenchCase]:
+    """The primary case catalog at quick (CI) or full (local) size.
+
+    ``execution`` selects the streaming backend the *service* cases run
+    on; the ``engine_serial`` / ``engine_multiprocess`` pair always pins
+    its own backends (that contrast is the case).
+    """
     params = QUICK_PARAMS if quick else FULL_PARAMS
     return (
         _parser_cases(params)
-        + _service_cases(params)
+        + _service_cases(params, execution=execution)
+        + _engine_cases(params)
         + _ingest_cases(params)
         + _data_plane_cases(params)
     )
@@ -791,6 +937,16 @@ def _derived(results: List[CaseResult]) -> List[CaseResult]:
                 per_record=False,
             )
         )
+    if "engine_serial" in by_name and "engine_multiprocess" in by_name:
+        out.append(
+            derive_ratio(
+                "engine_multicore_speedup",
+                by_name["engine_serial"],
+                by_name["engine_multiprocess"],
+                better="higher",
+                per_record=False,
+            )
+        )
     return out
 
 
@@ -798,6 +954,7 @@ def _derived(results: List[CaseResult]) -> List[CaseResult]:
 _DERIVED_GROUPS: Dict[str, str] = {
     "parser_speedup": "parser",
     "service_metrics_overhead": "service",
+    "engine_multicore_speedup": "engine",
 }
 
 
@@ -827,17 +984,19 @@ def run_bench(
     warmup: Optional[int] = None,
     only: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    execution: str = "serial",
 ) -> List[CaseResult]:
     """Run the suite; returns primary results plus derived ratio cases.
 
     ``only`` filters primary cases by name (derived cases appear when
-    both of their inputs ran).
+    both of their inputs ran).  ``execution`` selects the service cases'
+    streaming backend (the engine pair pins its own).
     """
     params = QUICK_PARAMS if quick else FULL_PARAMS
     repeats = repeats if repeats is not None else params["repeats"]
     warmup = warmup if warmup is not None else params["warmup"]
     results: List[CaseResult] = []
-    for case in build_cases(quick):
+    for case in build_cases(quick, execution=execution):
         if only and case.name not in only:
             continue
         if progress is not None:

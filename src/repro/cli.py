@@ -136,6 +136,21 @@ def _model_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    from .streaming.execution import EXECUTION_BACKENDS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--execution",
+        choices=EXECUTION_BACKENDS,
+        default="serial",
+        help="streaming execution backend: 'serial' (default), "
+             "'threads', or 'processes' (one worker process per "
+             "partition — true multicore; see docs/PARALLELISM.md)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="loglens",
@@ -187,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     watch = sub.add_parser(
         "watch",
-        parents=[_storage_parent()],
+        parents=[_storage_parent(), _execution_parent()],
         help="follow a log file through the real-time service",
     )
     watch.add_argument("logfile", help="log file to tail")
@@ -213,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        parents=[_model_parent(), _storage_parent()],
+        parents=[_model_parent(), _storage_parent(), _execution_parent()],
         help="accept logs over TCP/HTTP through the network front door",
     )
     serve.add_argument(
@@ -318,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
+        parents=[_execution_parent()],
         help="run the deterministic perf-benchmark suite and write "
              "BENCH_<case>.json artifacts",
     )
@@ -468,7 +484,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from .service.agent import FileTailAgent
 
     lens = _make_lens(args).load(args.model)
-    service = lens.to_service(storage=args.storage)
+    service = lens.to_service(
+        storage=args.storage, execution=args.execution
+    )
     source = args.source or Path(args.logfile).stem
     agent = FileTailAgent(
         service.bus,
@@ -788,7 +806,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     status = _fit_or_load(args, lens)
     if status:
         return status
-    service = lens.to_service(storage=args.storage)
+    service = lens.to_service(
+        storage=args.storage, execution=args.execution
+    )
     door = front_door(
         service,
         host=args.host,
@@ -872,6 +892,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=lambda name: print(
             "bench: running %s ..." % name, file=sys.stderr, flush=True
         ),
+        execution=args.execution,
     )
     if not results:
         print("error: no cases matched", file=sys.stderr)
@@ -891,13 +912,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is None:
         return 0
     baseline = load_results(args.compare)
+    current = {r.case: r.to_dict() for r in results}
+    if args.cases:
+        # A filtered run only measured the selected cases (plus their
+        # derived ratios); judging the rest of the baseline against
+        # nothing would report every absent case as a regression.
+        baseline = {k: v for k, v in baseline.items() if k in current}
     if not baseline:
         print(
             "no baseline artifacts in %r; skipping the regression gate "
             "(soft pass)" % args.compare
         )
         return 0
-    current = {r.case: r.to_dict() for r in results}
     report = compare_results(baseline, current, tolerance=args.tolerance)
     print(report.summary())
     return 0 if report.ok else 1

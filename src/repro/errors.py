@@ -25,6 +25,7 @@ __all__ = [
     "BroadcastError",
     "PartitioningError",
     "IngestError",
+    "ExecutionError",
 ]
 
 
@@ -58,6 +59,15 @@ class IngestError(LogLensError):
     """
 
 
+class ExecutionError(LogLensError):
+    """An execution backend failed outside any single operator call.
+
+    Raised by the process backend when a worker process dies, a message
+    cannot cross the pipe (unpicklable operator or reply), or work is
+    submitted after shutdown.
+    """
+
+
 class OperatorError(LogLensError):
     """An operator invocation failed (one attempt, one record).
 
@@ -80,6 +90,24 @@ class OperatorError(LogLensError):
         self.kind = kind
         self.partition_id = partition_id
         self.attempts = attempts
+
+    def __reduce__(self):
+        # Keyword-only constructor: the default exception reduction
+        # (``cls(*args)``) would drop the metadata, which must survive
+        # the pipe back from process-backend workers.
+        return (
+            _rebuild_operator_error,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                {
+                    "node_id": self.node_id,
+                    "kind": self.kind,
+                    "partition_id": self.partition_id,
+                    "attempts": self.attempts,
+                },
+            ),
+        )
 
 
 class QuarantinedRecordError(OperatorError):
@@ -111,6 +139,27 @@ class QuarantinedRecordError(OperatorError):
             attempts=attempts,
         )
         self.record = record
+
+    def __reduce__(self):
+        return (
+            _rebuild_operator_error,
+            (
+                type(self),
+                self.args[0] if self.args else "",
+                {
+                    "record": self.record,
+                    "node_id": self.node_id,
+                    "kind": self.kind,
+                    "partition_id": self.partition_id,
+                    "attempts": self.attempts,
+                },
+            ),
+        )
+
+
+def _rebuild_operator_error(cls, message, kwargs):
+    """Pickle helper for the keyword-only operator error constructors."""
+    return cls(message, **kwargs)
 
 
 class TopicNotFoundError(LogLensError, KeyError):

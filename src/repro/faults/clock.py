@@ -62,7 +62,22 @@ class ManualClock:
         with self._lock:
             self._now += max(0.0, seconds)
 
+    def reset(self, now: float) -> None:
+        """Set the current time (process-backend clock sync)."""
+        with self._lock:
+            self._now = float(now)
+
     @property
     def total_slept(self) -> float:
         with self._lock:
             return sum(self.sleeps)
+
+    # Picklable (for process-backend workers): the lock is per-process.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"now": self._now, "sleeps": list(self.sleeps)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._now = state["now"]
+        self.sleeps = list(state["sleeps"])

@@ -214,6 +214,64 @@ class FaultPlan:
         return fn(*args, **kwargs)
 
     # ------------------------------------------------------------------
+    # Process-backend synchronisation
+    # ------------------------------------------------------------------
+    # Worker processes carry a pickled copy of the plan.  Per batch the
+    # driver ships its authoritative counters (``sync_state``), each
+    # worker loads them before running (``load_sync_state``), and the
+    # driver folds each worker's post-batch counters back in
+    # (``apply_remote_delta``), so budgeted rules (``fail_first`` etc.)
+    # spend one shared budget across batches.  Within a single batch the
+    # partitions count independently from the same starting point —
+    # subject-predicate (``poison``) rules stay exact; call-ordinal
+    # budgets may over-fire by up to one batch's matching calls when the
+    # matching records span partitions (see docs/PARALLELISM.md).
+    def sync_state(self) -> Any:
+        """Counters to ship to workers before a batch (picklable)."""
+        with self._lock:
+            return (
+                [(r.seen, r.triggered) for r in self._rules],
+                dict(self._site_calls),
+            )
+
+    def load_sync_state(self, state: Any) -> None:
+        """Adopt the driver's counters (worker side, pre-batch)."""
+        rules, sites = state
+        with self._lock:
+            for rule, (seen, triggered) in zip(self._rules, rules):
+                rule.seen = seen
+                rule.triggered = triggered
+            self._site_calls = dict(sites)
+
+    def apply_remote_delta(self, sent: Any, returned: Any) -> None:
+        """Fold one worker's post-batch counters into the driver plan."""
+        sent_rules, sent_sites = sent
+        ret_rules, ret_sites = returned
+        with self._lock:
+            for rule, before, after in zip(
+                self._rules, sent_rules, ret_rules
+            ):
+                rule.seen += after[0] - before[0]
+                rule.triggered += after[1] - before[1]
+            for site, count in ret_sites.items():
+                delta = count - sent_sites.get(site, 0)
+                if delta:
+                    self._site_calls[site] = (
+                        self._site_calls.get(site, 0) + delta
+                    )
+
+    # Picklable (for process-backend workers): the lock is per-process;
+    # rule predicates and exception factories must themselves pickle.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def call_count(self, site: str) -> int:

@@ -22,6 +22,7 @@ from ..faults import FaultPlan
 from ..ingest.limits import IngestLimits
 from ..obs import MetricsRegistry
 from ..parsing.tokenizer import Tokenizer
+from ..streaming.execution import EXECUTION_BACKENDS
 from ..streaming.retry import RetryPolicy
 from .backends import StorageConfig
 from .model_builder import ModelBuilder
@@ -58,6 +59,11 @@ class ServiceConfig:
     storage:
         ``"memory"`` (default), ``"sqlite:PATH"``, or a pre-parsed
         :class:`~repro.service.backends.StorageConfig`.
+    execution:
+        How both streaming stages execute partitions: ``"serial"``
+        (default), ``"threads"``, or ``"processes"`` (one long-lived
+        worker process per partition — true multicore; see
+        ``docs/PARALLELISM.md``).
     ingest:
         Framing and backpressure limits the network front door applies
         when this service is served (``loglens serve`` /
@@ -75,7 +81,15 @@ class ServiceConfig:
     retry_policy: Optional[RetryPolicy] = None
     fault_plan: Optional[FaultPlan] = None
     storage: Union[str, StorageConfig, None] = None
+    execution: str = "serial"
     ingest: IngestLimits = field(default_factory=IngestLimits)
+
+    def __post_init__(self) -> None:
+        if self.execution not in EXECUTION_BACKENDS:
+            raise ValueError(
+                "execution must be one of %s; got %r"
+                % (", ".join(map(repr, EXECUTION_BACKENDS)), self.execution)
+            )
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "ServiceConfig":
@@ -101,6 +115,7 @@ class ServiceConfig:
         """JSON-safe summary of the scalar knobs (for reports/logs)."""
         return {
             "num_partitions": self.num_partitions,
+            "execution": self.execution,
             "heartbeat_period_steps": self.heartbeat_period_steps,
             "expiry_factor": self.expiry_factor,
             "min_expiry_millis": self.min_expiry_millis,

@@ -26,8 +26,10 @@ paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -41,7 +43,7 @@ import time as _time
 from ..core.anomaly import Anomaly
 from ..errors import DeprecationError
 from ..faults import ManualClock
-from ..obs import get_registry
+from ..obs import NullRegistry, get_registry
 from ..parsing.parser import FastLogParser, ParsedLog, PatternModel
 from ..parsing.tokenizer import Tokenizer
 from ..sequence.detector import LogSequenceDetector
@@ -73,6 +75,245 @@ __all__ = [
 #: Dead-letter origin names for the two streaming stages.
 PARSE_STAGE = "loglens.parse"
 SEQUENCE_STAGE = "loglens.sequence"
+
+
+# ----------------------------------------------------------------------
+# Worker-side operators.
+#
+# These are module-level picklable classes (not bound methods of the
+# service) so the process execution backend can ship them to resident
+# worker processes.  Driver-held resources — the metrics registry and
+# its handles — are dropped on pickling: worker-side copies observe into
+# a no-op registry, so per-parser/per-sweep observability metrics are a
+# driver-execution feature while every ServiceReport counter stays exact
+# under all backends (see docs/PARALLELISM.md).
+# ----------------------------------------------------------------------
+class ParseOperator:
+    """Stateless parse stage: one resident parser per worker."""
+
+    def __init__(
+        self,
+        pattern_bv: Any,
+        tokenizer_factory: Callable[[], Tokenizer],
+        metrics: Any,
+    ) -> None:
+        self.pattern_bv = pattern_bv
+        self.tokenizer_factory = tokenizer_factory
+        self._metrics = metrics
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "pattern_bv": self.pattern_bv,
+            "tokenizer_factory": self.tokenizer_factory,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.pattern_bv = state["pattern_bv"]
+        self.tokenizer_factory = state["tokenizer_factory"]
+        self._metrics = None
+
+    def __call__(
+        self, record: StreamRecord, worker: WorkerContext
+    ) -> Iterable[StreamRecord]:
+        model = self.pattern_bv.get_value(worker.block_manager)
+        cached = getattr(worker, "_loglens_parser", None)
+        if cached is None or cached.model is not model:
+            if self._metrics is not None:
+                # Each worker owns its parser, so metric publication can
+                # be batched per micro-batch; step() flushes after every
+                # parse run_batch, keeping service counts exact per step.
+                cached = FastLogParser(
+                    model,
+                    tokenizer=self.tokenizer_factory(),
+                    metrics=self._metrics,
+                    deferred_metrics=True,
+                )
+            else:
+                # Process-backend worker: no driver to flush deferred
+                # buffers, so parse un-deferred into a no-op registry.
+                cached = FastLogParser(
+                    model,
+                    tokenizer=self.tokenizer_factory(),
+                    metrics=NullRegistry(),
+                )
+            worker._loglens_parser = cached  # type: ignore[attr-defined]
+        payload = record.value
+        result = cached.parse(payload["raw"], source=payload["source"])
+        ts = (
+            result.timestamp_millis
+            if isinstance(result, (ParsedLog, Anomaly))
+            else None
+        )
+        yield StreamRecord(
+            value=result,
+            key=record.key,
+            source=payload["source"],
+            timestamp_millis=ts,
+        )
+
+
+class SequenceOperator:
+    """Stateful sequence stage: one detector per partition in state."""
+
+    def __init__(
+        self,
+        sequence_bv: Any,
+        expiry_factor: float,
+        min_expiry_millis: int,
+        metrics: Any,
+    ) -> None:
+        self.sequence_bv = sequence_bv
+        self.expiry_factor = expiry_factor
+        self.min_expiry_millis = min_expiry_millis
+        self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics: Any) -> None:
+        self._metrics = metrics
+        # Per-partition detector gauges, resolved once per partition.
+        self._g_open_events: Dict[int, Any] = {}
+        self._g_heap_depth: Dict[int, Any] = {}
+        if metrics is not None:
+            self._m_expired_states = metrics.counter(
+                "heartbeat.expired_states"
+            )
+            self._m_partition_sweep = metrics.histogram(
+                "heartbeat.partition_sweep_seconds"
+            )
+        else:
+            self._m_expired_states = None
+            self._m_partition_sweep = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "sequence_bv": self.sequence_bv,
+            "expiry_factor": self.expiry_factor,
+            "min_expiry_millis": self.min_expiry_millis,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.sequence_bv = state["sequence_bv"]
+        self.expiry_factor = state["expiry_factor"]
+        self.min_expiry_millis = state["min_expiry_millis"]
+        self._bind_metrics(None)
+
+    def __call__(
+        self,
+        record: StreamRecord,
+        state: StateMap,
+        worker: WorkerContext,
+    ) -> Iterable[StreamRecord]:
+        model = self.sequence_bv.get_value(worker.block_manager)
+        detector: Optional[LogSequenceDetector] = state.get("_detector")
+        if detector is None:
+            detector = LogSequenceDetector(
+                model,
+                expiry_factor=self.expiry_factor,
+                min_expiry_millis=self.min_expiry_millis,
+            )
+            state.put("_detector", detector)
+        elif detector.model is not model:
+            # Zero-downtime update: swap rules, keep surviving open events.
+            detector.model = model
+        if record.is_heartbeat:
+            # A heartbeat triggers this partition's expired-state sweep;
+            # time it and count what it expired.
+            sweep_started = _time.perf_counter()
+            anomalies = detector.process_heartbeat(
+                record.timestamp_millis or 0
+            )
+            if self._m_partition_sweep is not None:
+                self._m_partition_sweep.observe(
+                    _time.perf_counter() - sweep_started
+                )
+                if anomalies:
+                    self._m_expired_states.inc(len(anomalies))
+                self._publish_detector_gauges(
+                    worker.partition_id, detector
+                )
+        else:
+            anomalies = detector.process(record.value)
+        for anomaly in anomalies:
+            yield StreamRecord(
+                value=anomaly,
+                source=anomaly.source,
+                timestamp_millis=anomaly.timestamp_millis,
+            )
+
+    def _publish_detector_gauges(
+        self, partition_id: int, detector: LogSequenceDetector
+    ) -> None:
+        """Refresh one partition's open-state gauges (post-sweep)."""
+        open_gauge = self._g_open_events.get(partition_id)
+        if open_gauge is None:
+            label = str(partition_id)
+            open_gauge = self._metrics.gauge(
+                "detector.open_events", partition=label
+            )
+            self._g_open_events[partition_id] = open_gauge
+            self._g_heap_depth[partition_id] = self._metrics.gauge(
+                "detector.expiry_heap_depth", partition=label
+            )
+        open_gauge.set(detector.open_event_count)
+        self._g_heap_depth[partition_id].set(detector.expiry_heap_depth)
+
+
+def _is_anomaly_record(record: StreamRecord) -> bool:
+    return isinstance(record.value, Anomaly)
+
+
+def _is_parsed_record(record: StreamRecord) -> bool:
+    return isinstance(record.value, ParsedLog)
+
+
+# ----------------------------------------------------------------------
+# Per-partition state functions, shipped to resident workers through
+# ``StreamingContext.call_partition`` (picklable via functools.partial;
+# the worker context is always the trailing argument).
+# ----------------------------------------------------------------------
+def _partition_detector_snapshot(node_id: int, worker: WorkerContext) -> Any:
+    state = worker._states.get(node_id)
+    if state is None:
+        return None
+    detector = state.get("_detector")
+    return None if detector is None else detector.snapshot()
+
+
+def _partition_flush(worker: WorkerContext) -> List[Dict[str, Any]]:
+    flushed: List[Dict[str, Any]] = []
+    for state in worker._states.values():
+        detector = state.get("_detector")
+        if detector is not None:
+            flushed.extend(
+                anomaly.to_dict() for anomaly in detector.flush()
+            )
+    return flushed
+
+
+def _partition_open_events(worker: WorkerContext) -> int:
+    total = 0
+    for state in worker._states.values():
+        detector = state.get("_detector")
+        if detector is not None:
+            total += detector.open_event_count
+    return total
+
+
+def _partition_restore_detector(
+    node_id: int,
+    snapshot: Dict[str, Any],
+    sequence_bv: Any,
+    expiry_factor: float,
+    min_expiry_millis: int,
+    worker: WorkerContext,
+) -> None:
+    model: SequenceModel = sequence_bv.get_value(worker.block_manager)
+    detector = LogSequenceDetector.restore(
+        snapshot,
+        model,
+        expiry_factor=expiry_factor,
+        min_expiry_millis=min_expiry_millis,
+    )
+    worker.state_for(node_id).put("_detector", detector)
 
 
 @dataclass
@@ -254,12 +495,14 @@ class LogLensService:
 
         # Streaming plane: two stages with a shuffle in between; both
         # quarantine poison records to stage-specific dead-letter topics.
+        self.execution = config.execution
         self.parse_ctx = StreamingContext(
             num_partitions,
             metrics=self.metrics,
             retry_policy=self.retry_policy,
             dead_letter=self._quarantine_parse,
             fault_plan=fault_plan,
+            execution=config.execution,
         )
         self.seq_ctx = StreamingContext(
             num_partitions,
@@ -267,16 +510,8 @@ class LogLensService:
             retry_policy=self.retry_policy,
             dead_letter=self._quarantine_sequence,
             fault_plan=fault_plan,
+            execution=config.execution,
         )
-        self._m_expired_states = self.metrics.counter(
-            "heartbeat.expired_states"
-        )
-        self._m_partition_sweep = self.metrics.histogram(
-            "heartbeat.partition_sweep_seconds"
-        )
-        # Per-partition detector gauges, resolved once per partition.
-        self._g_open_events: Dict[int, Any] = {}
-        self._g_heap_depth: Dict[int, Any] = {}
         self._pattern_bv = self.parse_ctx.broadcast(PatternModel([]))
         self._sequence_bv = self.seq_ctx.broadcast(SequenceModel([]))
 
@@ -328,110 +563,25 @@ class LogLensService:
     # Graph construction
     # ------------------------------------------------------------------
     def _build_graphs(self) -> None:
+        self._parse_operator = ParseOperator(
+            self._pattern_bv, self.tokenizer_factory, self.metrics
+        )
+        self._sequence_operator = SequenceOperator(
+            self._sequence_bv,
+            self.expiry_factor,
+            self.min_expiry_millis,
+            self.metrics,
+        )
         parse_src = self.parse_ctx.source()
-        parsed = parse_src.flat_map(self._parse_op)
-        parsed.filter(
-            lambda r: isinstance(r.value, Anomaly)
-        ).sink(self._store_anomaly)
-        parsed.filter(
-            lambda r: isinstance(r.value, ParsedLog)
-        ).sink(self._buffer_parsed)
+        parsed = parse_src.flat_map(self._parse_operator)
+        parsed.filter(_is_anomaly_record).sink(self._store_anomaly)
+        parsed.filter(_is_parsed_record).sink(self._buffer_parsed)
 
         seq_src = self.seq_ctx.source()
-        seq_out = seq_src.map_with_state(self._sequence_op)
+        seq_out = seq_src.map_with_state(self._sequence_operator)
         seq_out.sink(self._store_anomaly)
         # The stateful node's id locates detectors for checkpoint/restore.
         self._seq_state_node_id = seq_out._node.node_id
-
-    # ------------------------------------------------------------------
-    # Worker-side operators
-    # ------------------------------------------------------------------
-    def _parse_op(
-        self, record: StreamRecord, worker: WorkerContext
-    ) -> Iterable[StreamRecord]:
-        model = self._pattern_bv.get_value(worker.block_manager)
-        cached = getattr(worker, "_loglens_parser", None)
-        if cached is None or cached.model is not model:
-            # Each worker owns its parser, so metric publication can be
-            # batched per micro-batch; step() flushes after every parse
-            # run_batch, keeping service-level counts exact per step.
-            cached = FastLogParser(
-                model,
-                tokenizer=self.tokenizer_factory(),
-                metrics=self.metrics,
-                deferred_metrics=True,
-            )
-            worker._loglens_parser = cached  # type: ignore[attr-defined]
-        payload = record.value
-        result = cached.parse(payload["raw"], source=payload["source"])
-        ts = (
-            result.timestamp_millis
-            if isinstance(result, (ParsedLog, Anomaly))
-            else None
-        )
-        yield StreamRecord(
-            value=result,
-            key=record.key,
-            source=payload["source"],
-            timestamp_millis=ts,
-        )
-
-    def _sequence_op(
-        self,
-        record: StreamRecord,
-        state: StateMap,
-        worker: WorkerContext,
-    ) -> Iterable[StreamRecord]:
-        model = self._sequence_bv.get_value(worker.block_manager)
-        detector: Optional[LogSequenceDetector] = state.get("_detector")
-        if detector is None:
-            detector = LogSequenceDetector(
-                model,
-                expiry_factor=self.expiry_factor,
-                min_expiry_millis=self.min_expiry_millis,
-            )
-            state.put("_detector", detector)
-        elif detector.model is not model:
-            # Zero-downtime update: swap rules, keep surviving open events.
-            detector.model = model
-        if record.is_heartbeat:
-            # A heartbeat triggers this partition's expired-state sweep;
-            # time it and count what it expired.
-            sweep_started = _time.perf_counter()
-            anomalies = detector.process_heartbeat(
-                record.timestamp_millis or 0
-            )
-            self._m_partition_sweep.observe(
-                _time.perf_counter() - sweep_started
-            )
-            if anomalies:
-                self._m_expired_states.inc(len(anomalies))
-            self._publish_detector_gauges(worker.partition_id, detector)
-        else:
-            anomalies = detector.process(record.value)
-        for anomaly in anomalies:
-            yield StreamRecord(
-                value=anomaly,
-                source=anomaly.source,
-                timestamp_millis=anomaly.timestamp_millis,
-            )
-
-    def _publish_detector_gauges(
-        self, partition_id: int, detector: LogSequenceDetector
-    ) -> None:
-        """Refresh one partition's open-state gauges (post-sweep)."""
-        open_gauge = self._g_open_events.get(partition_id)
-        if open_gauge is None:
-            label = str(partition_id)
-            open_gauge = self.metrics.gauge(
-                "detector.open_events", partition=label
-            )
-            self._g_open_events[partition_id] = open_gauge
-            self._g_heap_depth[partition_id] = self.metrics.gauge(
-                "detector.expiry_heap_depth", partition=label
-            )
-        open_gauge.set(detector.open_event_count)
-        self._g_heap_depth[partition_id].set(detector.expiry_heap_depth)
 
     # ------------------------------------------------------------------
     # Driver-side sinks and helpers
@@ -583,12 +733,16 @@ class LogLensService:
         )
 
     def close(self) -> None:
-        """Release the persistent storage database (checkpoint + close).
+        """Release execution and storage resources (idempotent).
 
-        A no-op for memory-backed services.  After closing, another
-        service constructed with the same ``sqlite:PATH`` spec resumes
-        from everything this one persisted.
+        Shuts down both streaming contexts' execution backends (thread
+        pools / worker processes — serial contexts make this a no-op)
+        and closes the persistent storage database if one is attached.
+        After closing, another service constructed with the same
+        ``sqlite:PATH`` spec resumes from everything this one persisted.
         """
+        self.parse_ctx.shutdown()
+        self.seq_ctx.shutdown()
         if self.storage_database is not None:
             self.storage_database.close()
 
@@ -622,14 +776,13 @@ class LogLensService:
         replayed dataset ends and remaining open states must be judged.
         """
         count = 0
-        for worker in self.seq_ctx.workers:
-            for node_id, state in list(worker._states.items()):
-                detector = state.get("_detector")
-                if detector is None:
-                    continue
-                for anomaly in detector.flush():
-                    self.anomaly_storage.store(anomaly.to_dict())
-                    count += 1
+        for partition_id in range(self.seq_ctx.num_partitions):
+            flushed = self.seq_ctx.call_partition(
+                partition_id, _partition_flush
+            )
+            for anomaly_dict in flushed:
+                self.anomaly_storage.store(anomaly_dict)
+                count += 1
         return count
 
     # ------------------------------------------------------------------
@@ -641,13 +794,15 @@ class LogLensService:
     def checkpoint(self) -> Dict[str, Any]:
         """A JSON-safe snapshot of the service's mutable state."""
         partitions: Dict[str, Any] = {}
-        for worker in self.seq_ctx.workers:
-            state = worker._states.get(self._seq_state_node_id)
-            if state is None:
-                continue
-            detector: Optional[LogSequenceDetector] = state.get("_detector")
-            if detector is not None:
-                partitions[str(worker.partition_id)] = detector.snapshot()
+        for partition_id in range(self.seq_ctx.num_partitions):
+            snapshot = self.seq_ctx.call_partition(
+                partition_id,
+                partial(
+                    _partition_detector_snapshot, self._seq_state_node_id
+                ),
+            )
+            if snapshot is not None:
+                partitions[str(partition_id)] = snapshot
         return {
             "num_partitions": self.seq_ctx.num_partitions,
             "steps": self._steps,
@@ -682,30 +837,28 @@ class LogLensService:
         self.heartbeat_controller.restore_snapshot(checkpoint["heartbeat"])
         self._steps = checkpoint.get("steps", 0)
         for pid_text, snapshot in checkpoint["partitions"].items():
-            worker = self.seq_ctx.workers[int(pid_text)]
-            model: SequenceModel = self._sequence_bv.get_value(
-                worker.block_manager
-            )
-            detector = LogSequenceDetector.restore(
-                snapshot,
-                model,
-                expiry_factor=self.expiry_factor,
-                min_expiry_millis=self.min_expiry_millis,
-            )
-            worker.state_for(self._seq_state_node_id).put(
-                "_detector", detector
+            # flush_model_updates() above synced the sequence model to
+            # every resident worker, so the restore function reads it
+            # straight from the worker's block cache.
+            self.seq_ctx.call_partition(
+                int(pid_text),
+                partial(
+                    _partition_restore_detector,
+                    self._seq_state_node_id,
+                    snapshot,
+                    self._sequence_bv,
+                    self.expiry_factor,
+                    self.min_expiry_millis,
+                ),
             )
 
     # ------------------------------------------------------------------
     def open_event_count(self) -> int:
         """In-flight events across all sequence partitions."""
-        total = 0
-        for worker in self.seq_ctx.workers:
-            for state in worker._states.values():
-                detector = state.get("_detector")
-                if detector is not None:
-                    total += detector.open_event_count
-        return total
+        return sum(
+            self.seq_ctx.call_partition(partition_id, _partition_open_events)
+            for partition_id in range(self.seq_ctx.num_partitions)
+        )
 
     # ------------------------------------------------------------------
     # Quarantine surface

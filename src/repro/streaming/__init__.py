@@ -9,6 +9,13 @@ partitioning (:mod:`repro.streaming.partitioner`).
 """
 
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
+from .execution import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from .engine import (
     BatchMetrics,
     CollectedRecords,
@@ -32,6 +39,11 @@ __all__ = [
     "BlockManager",
     "BroadcastManager",
     "BroadcastVariable",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "BatchMetrics",
     "CollectedRecords",
     "Collector",

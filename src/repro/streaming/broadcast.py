@@ -88,9 +88,24 @@ class BroadcastVariable:
         hit, value = block_manager.get(self.bv_id)
         if hit:
             return value
+        if self._manager is None:
+            # Unpickled on a process-backend worker: there is no driver
+            # to pull from — the backend pre-populates every block cache
+            # at startup and ships deltas per batch, so a miss means the
+            # id was never broadcast through this variable's context.
+            raise BroadcastError(self.bv_id)
         value = self._manager.pull(self.bv_id)
         block_manager.put(self.bv_id, value)
         return value
+
+    # Picklable handle: only the id crosses process boundaries; the
+    # manager (locks, worker registry) stays on the driver.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"bv_id": self.bv_id}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.bv_id = state["bv_id"]
+        self._manager = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "BroadcastVariable(id=%d)" % self.bv_id
@@ -192,3 +207,16 @@ class BroadcastManager:
         """Monotonic version of a broadcast id (1 = initial)."""
         with self._lock:
             return self._versions[bv_id]
+
+    def sync_snapshot(self) -> Dict[int, Tuple[int, Any]]:
+        """``{bv_id: (version, value)}`` for delta sync to workers.
+
+        The process backend compares versions against what each worker
+        fleet last received and ships only the changed values — a model
+        rebroadcast crosses the pipe once, not once per batch.
+        """
+        with self._lock:
+            return {
+                bv_id: (self._versions[bv_id], value)
+                for bv_id, value in self._values.items()
+            }

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -48,16 +47,19 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Union,
 )
 
-from ..errors import (
-    DeprecationError,
-    OperatorError,
-    PartitioningError,
-    QuarantinedRecordError,
-)
+from ..errors import DeprecationError, PartitioningError
+from ..faults.clock import ManualClock
 from ..obs import Counter, MetricsRegistry, get_registry
 from .broadcast import BlockManager, BroadcastManager, BroadcastVariable
+from .execution import (
+    ExecutionBackend,
+    PartitionExecutor,
+    ThreadBackend,
+    resolve_backend,
+)
 from .partitioner import HashPartitioner, HeartbeatAwarePartitioner, partition_records
 from .records import StreamRecord
 from .retry import QuarantinedRecord, RetryPolicy
@@ -332,10 +334,15 @@ class StreamingContext:
         Worker/partition count (the paper's cluster has 8 workers).
     partitioner:
         Defaults to :class:`HeartbeatAwarePartitioner`.
+    execution:
+        ``"serial"`` (default), ``"threads"``, ``"processes"``, or a
+        pre-built :class:`~repro.streaming.execution.ExecutionBackend`.
+        ``"processes"`` runs each partition in a long-lived worker
+        process — operator functions must be picklable; see
+        ``docs/PARALLELISM.md``.
     parallel:
-        Execute partitions on a thread pool.  Off by default: the
-        single-process simulator is faster and fully deterministic without
-        threads, while the code paths stay identical.
+        Legacy alias for ``execution="threads"``.  Conflicting
+        combinations raise ``ValueError``.
     retry_policy:
         Re-execute failing operator calls per this policy; records that
         exhaust it are quarantined instead of aborting the batch.  With
@@ -360,6 +367,7 @@ class StreamingContext:
         retry_policy: Optional[RetryPolicy] = None,
         dead_letter: Optional[Callable[[QuarantinedRecord], None]] = None,
         fault_plan: Optional[Any] = None,
+        execution: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
@@ -377,6 +385,7 @@ class StreamingContext:
             self.broadcast_manager.register_worker(worker.block_manager)
         self._next_node_id = 0
         self._roots: List[_Node] = []
+        self._nodes: Dict[int, _Node] = {}
         self.metrics = EngineMetrics()
         self.obs = metrics if metrics is not None else get_registry()
         self._batch_seconds = self.obs.histogram("engine.batch_seconds")
@@ -409,16 +418,34 @@ class StreamingContext:
         self._retry_backoff_seconds = self.obs.histogram(
             "engine.retry_backoff_seconds"
         )
-        self._pool = (
-            ThreadPoolExecutor(max_workers=num_partitions)
-            if parallel
-            else None
-        )
         # Bucket lists recycled across micro-batches; run_batch is
         # driver-serialised, so one set per context is safe.
         self._bucket_buffers: List[List[StreamRecord]] = [
             [] for _ in range(num_partitions)
         ]
+        # Execution plane: the graph walk (shared by driver threads and
+        # worker processes) plus the backend that schedules it.
+        self._executor = PartitionExecutor(
+            self._roots,
+            self.retry_policy,
+            self._fault_plan,
+            on_retry=self._retries.inc,
+            on_backoff=self._retry_backoff_seconds.observe,
+            on_quarantine=self._record_quarantined,
+        )
+        if execution is None:
+            execution = "threads" if parallel else "serial"
+        elif parallel and not (
+            execution == "threads" or isinstance(execution, ThreadBackend)
+        ):
+            raise ValueError(
+                "parallel=True conflicts with execution=%r; drop the "
+                "legacy flag or pass execution='threads'" % (execution,)
+            )
+        self._backend = resolve_backend(execution)
+        self._backend.attach(self)
+        #: Resolved backend name ("serial" | "threads" | "processes").
+        self.execution = self._backend.name
 
     @property
     def retries_total(self) -> int:
@@ -435,6 +462,7 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def _new_node(self, kind: str, fn: Optional[Callable]) -> _Node:
         node = _Node(self._next_node_id, kind, fn)
+        self._nodes[node.node_id] = node
         self._next_node_id += 1
         return node
 
@@ -480,16 +508,7 @@ class StreamingContext:
             )
         for worker, bucket in zip(self.workers, buckets):
             self._partition_records[worker.partition_id].inc(len(bucket))
-        if self._pool is not None:
-            futures = [
-                self._pool.submit(self._run_partition, worker, bucket)
-                for worker, bucket in zip(self.workers, buckets)
-            ]
-            for future in futures:
-                future.result()
-        else:
-            for worker, bucket in zip(self.workers, buckets):
-                self._run_partition(worker, bucket)
+        self._backend.run_batch(buckets)
         elapsed = time.perf_counter() - started
         self._batch_seconds.observe(elapsed)
         self._records_in.inc(len(records))
@@ -518,141 +537,66 @@ class StreamingContext:
         return [self.run_batch(batch) for batch in batches]
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        """Release backend resources (thread pool / worker processes).
+
+        Idempotent; serial contexts make it a no-op.  Long-lived owners
+        (the service, ``serve``/``watch``) call this on teardown.
+        """
+        self._backend.shutdown()
 
     # ------------------------------------------------------------------
-    def _run_partition(
-        self, worker: WorkerContext, records: List[StreamRecord]
-    ) -> None:
-        for record in records:
-            for root in self._roots:
-                for child in root.children:
-                    self._apply(child, record, worker)
-
-    def _apply(
-        self, node: _Node, record: StreamRecord, worker: WorkerContext
-    ) -> None:
-        outputs = self._invoke(node, record, worker)
-        if outputs is _QUARANTINED:
-            return
-        for out in outputs:
-            for child in node.children:
-                self._apply(child, out, worker)
-
-    def _call_operator(
-        self, node: _Node, record: StreamRecord, worker: WorkerContext
-    ) -> List[StreamRecord]:
-        """Run one operator over one record; returns its outputs."""
-        kind = node.kind
-        if kind == "map":
-            out = node.fn(record, worker)
-            return [] if out is None else [out]
-        if kind == "flat_map":
-            return list(node.fn(record, worker))
-        if kind == "filter":
-            return [record] if node.fn(record) else []
-        if kind == "map_with_state":
-            state = worker.state_for(node.node_id)
-            return list(node.fn(record, state, worker))
-        if kind == "sink":
-            node.fn(record)
-            return []
-        # pragma: no cover - graph construction prevents this
-        raise RuntimeError("unknown operator kind %r" % kind)
-
-    def _invoke(
-        self, node: _Node, record: StreamRecord, worker: WorkerContext
+    # Partition state access
+    # ------------------------------------------------------------------
+    def call_partition(
+        self, partition_id: int, fn: Callable[[WorkerContext], Any]
     ) -> Any:
-        """One operator invocation under fault injection and retries.
+        """Run ``fn(worker)`` against a partition's resident worker.
 
-        Returns the operator's outputs, or the ``_QUARANTINED`` sentinel
-        when the record exhausted its retry budget (the failing node's
-        subtree is skipped; sibling branches and other records proceed).
+        The portable way to reach per-partition state (checkpointing,
+        final flushes, gauges): local backends call ``fn`` directly on
+        ``self.workers[partition_id]``; the process backend ships ``fn``
+        to the resident worker process and returns its result — ``fn``
+        must then be picklable (use ``functools.partial`` over a
+        module-level function) and so must its return value.
         """
-        plan = self._fault_plan
-        policy = self.retry_policy
-        site = "operator:%s:%d" % (node.kind, node.node_id)
-        if policy is None:
-            # Legacy fail-fast path: exceptions abort the batch.
-            if plan is None:
-                return self._call_operator(node, record, worker)
-            return plan.invoke(
-                site, self._call_operator, node, record, worker,
-                subject=record,
+        if not 0 <= partition_id < self.num_partitions:
+            raise ValueError(
+                "partition_id %d out of range [0, %d)"
+                % (partition_id, self.num_partitions)
             )
-        clock = policy.clock
-        attempt = 0
-        while True:
-            attempt += 1
-            attempt_started = clock.monotonic()
-            try:
-                if plan is not None:
-                    outputs = plan.invoke(
-                        site, self._call_operator, node, record, worker,
-                        subject=record,
-                    )
-                else:
-                    outputs = self._call_operator(node, record, worker)
-                timeout = policy.per_attempt_timeout_seconds
-                if timeout is not None:
-                    attempt_seconds = clock.monotonic() - attempt_started
-                    if attempt_seconds > timeout:
-                        raise OperatorError(
-                            "attempt %d took %.6fs, over the %.6fs "
-                            "per-attempt budget"
-                            % (attempt, attempt_seconds, timeout),
-                            node_id=node.node_id,
-                            kind=node.kind,
-                            partition_id=worker.partition_id,
-                            attempts=attempt,
-                        )
-                return outputs
-            except policy.retryable as exc:
-                if attempt >= policy.max_attempts:
-                    return self._exhausted(node, record, worker,
-                                           attempt, exc)
-                self._retries.inc()
-                delay = policy.delay_for(attempt)
-                self._retry_backoff_seconds.observe(delay)
-                if delay > 0:
-                    clock.sleep(delay)
+        return self._backend.call(partition_id, fn)
 
-    def _exhausted(
-        self,
-        node: _Node,
-        record: StreamRecord,
-        worker: WorkerContext,
-        attempts: int,
-        exc: BaseException,
-    ) -> Any:
-        """Retry budget spent: quarantine the record (or fail fast)."""
-        if self.retry_policy.on_exhaust == "raise":
-            raise QuarantinedRecordError(
-                "record failed %d attempt(s) at operator %s#%d: %s"
-                % (attempts, node.kind, node.node_id, exc),
-                record=record,
-                node_id=node.node_id,
-                kind=node.kind,
-                partition_id=worker.partition_id,
-                attempts=attempts,
-            ) from exc
-        quarantined = QuarantinedRecord(
-            record=record,
-            error=str(exc) or repr(exc),
-            error_type=type(exc).__name__,
-            node_id=node.node_id,
-            kind=node.kind,
-            partition_id=worker.partition_id,
-            attempts=attempts,
-        )
+    # ------------------------------------------------------------------
+    # Fault-tolerance bookkeeping (driver side)
+    # ------------------------------------------------------------------
+    def _record_quarantined(self, quarantined: QuarantinedRecord) -> None:
         self._quarantined.inc()
         self.quarantine.add(quarantined)
         if self._dead_letter is not None:
             self._dead_letter(quarantined)
-        return _QUARANTINED
 
+    def _absorb_remote(self, outcome: Any, plan_sent: Any) -> None:
+        """Fold one worker process's batch result into driver state.
 
-#: Sentinel distinguishing "operator quarantined the record" from an
-#: empty output list (which still propagates nothing but is a success).
-_QUARANTINED = object()
+        Called by the process backend in partition order 0..N-1, which
+        makes the replayed sink order identical to serial execution.
+        """
+        for node_id, record in outcome.emitted:
+            self._nodes[node_id].fn(record)
+        for quarantined in outcome.quarantined:
+            self._record_quarantined(quarantined)
+        if outcome.retries:
+            self._retries.inc(outcome.retries)
+        for delay in outcome.backoffs:
+            self._retry_backoff_seconds.observe(delay)
+        policy = self.retry_policy
+        clock = policy.clock if policy is not None else None
+        if isinstance(clock, ManualClock):
+            for seconds in outcome.sleeps:
+                clock.sleep(seconds)
+            if outcome.advanced > 0:
+                clock.advance(outcome.advanced)
+        if self._fault_plan is not None and outcome.plan_state is not None:
+            self._fault_plan.apply_remote_delta(
+                plan_sent, outcome.plan_state
+            )

@@ -1,0 +1,701 @@
+"""Pluggable execution backends for the streaming engine.
+
+The driver/worker split that :class:`~repro.streaming.engine.StreamingContext`
+schedules over is abstracted behind an :class:`ExecutionBackend`:
+
+* :class:`SerialBackend` — partitions run inline on the driver thread,
+  bit-identical to the engine's historical default;
+* :class:`ThreadBackend` — partitions run on a thread pool (the old
+  ``parallel=True``), overlapping I/O but still GIL-bound;
+* :class:`ProcessBackend` — each partition runs in a **long-lived worker
+  process** (``multiprocessing`` spawn context).  Workers keep their
+  :class:`~repro.streaming.engine.WorkerContext` / state maps resident
+  across micro-batches; per batch they receive a pickled record bucket
+  plus broadcast *deltas* (only values whose version changed since the
+  last sync), and return captured sink emissions, quarantine entries,
+  retry counters, and fault-plan/clock bookkeeping which the driver
+  replays so observable semantics match serial execution.
+
+The operator-graph walk itself — fault injection, retry loop, quarantine
+— lives in :class:`PartitionExecutor`, shared verbatim between the
+driver-side backends and the worker processes; the only behavioural
+switch is *sink capture*: worker processes do not run sink functions
+(they may close over driver resources such as storage handles), they
+record ``(node_id, record)`` pairs which the driver replays in partition
+order — reproducing exactly the total sink order of serial execution.
+
+See ``docs/PARALLELISM.md`` for the protocol and its determinism
+caveats.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ExecutionError, OperatorError, QuarantinedRecordError
+from ..faults.clock import ManualClock
+from .records import StreamRecord
+from .retry import QuarantinedRecord, RetryPolicy
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "PartitionExecutor",
+    "ProcessBackend",
+    "RemoteBatchResult",
+    "SerialBackend",
+    "ThreadBackend",
+    "resolve_backend",
+]
+
+#: Valid names for ``StreamingContext(execution=...)`` / the CLI flag.
+EXECUTION_BACKENDS = ("serial", "threads", "processes")
+
+#: Sentinel distinguishing "operator quarantined the record" from an
+#: empty output list (which still propagates nothing but is a success).
+_QUARANTINED = object()
+
+
+def _noop() -> None:
+    pass
+
+
+def _drop(_value: Any) -> None:
+    pass
+
+
+class PartitionExecutor:
+    """Walks the operator graph for one partition's records.
+
+    This is the engine's execution core — fault injection at
+    ``operator:<kind>:<node_id>`` sites, the retry loop with measured
+    per-attempt timeouts, and quarantine on exhaustion — factored out of
+    :class:`~repro.streaming.engine.StreamingContext` so driver threads
+    and worker processes run the identical code path.
+
+    Accounting is externalised through callbacks: the driver wires
+    ``on_retry``/``on_backoff``/``on_quarantine`` to its live counters,
+    histogram, quarantine store, and dead-letter sink; worker processes
+    wire them to local accumulators shipped back per batch.
+
+    With ``capture_sinks=True`` sink functions are *not* called; each
+    would-be sink invocation is appended to :attr:`emitted` as a
+    ``(node_id, record)`` pair for the driver to replay.
+    """
+
+    def __init__(
+        self,
+        roots: List[Any],
+        retry_policy: Optional[RetryPolicy],
+        fault_plan: Optional[Any],
+        *,
+        capture_sinks: bool = False,
+        on_retry: Callable[[], None] = _noop,
+        on_backoff: Callable[[float], None] = _drop,
+        on_quarantine: Callable[[QuarantinedRecord], None] = _drop,
+    ) -> None:
+        self.roots = roots
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.capture_sinks = capture_sinks
+        #: Captured ``(node_id, record)`` sink emissions (capture mode).
+        self.emitted: List[Tuple[int, StreamRecord]] = []
+        self._on_retry = on_retry
+        self._on_backoff = on_backoff
+        self._on_quarantine = on_quarantine
+
+    # ------------------------------------------------------------------
+    def run_partition(
+        self, worker: Any, records: Sequence[StreamRecord]
+    ) -> None:
+        for record in records:
+            for root in self.roots:
+                for child in root.children:
+                    self._apply(child, record, worker)
+
+    def _apply(self, node: Any, record: StreamRecord, worker: Any) -> None:
+        outputs = self._invoke(node, record, worker)
+        if outputs is _QUARANTINED:
+            return
+        for out in outputs:
+            for child in node.children:
+                self._apply(child, out, worker)
+
+    def _call_operator(
+        self, node: Any, record: StreamRecord, worker: Any
+    ) -> List[StreamRecord]:
+        """Run one operator over one record; returns its outputs."""
+        kind = node.kind
+        if kind == "map":
+            out = node.fn(record, worker)
+            return [] if out is None else [out]
+        if kind == "flat_map":
+            return list(node.fn(record, worker))
+        if kind == "filter":
+            return [record] if node.fn(record) else []
+        if kind == "map_with_state":
+            state = worker.state_for(node.node_id)
+            return list(node.fn(record, state, worker))
+        if kind == "sink":
+            if self.capture_sinks:
+                self.emitted.append((node.node_id, record))
+            else:
+                node.fn(record)
+            return []
+        # pragma: no cover - graph construction prevents this
+        raise RuntimeError("unknown operator kind %r" % kind)
+
+    def _invoke(self, node: Any, record: StreamRecord, worker: Any) -> Any:
+        """One operator invocation under fault injection and retries.
+
+        Returns the operator's outputs, or the ``_QUARANTINED`` sentinel
+        when the record exhausted its retry budget (the failing node's
+        subtree is skipped; sibling branches and other records proceed).
+        """
+        plan = self.fault_plan
+        policy = self.retry_policy
+        site = "operator:%s:%d" % (node.kind, node.node_id)
+        if policy is None:
+            # Legacy fail-fast path: exceptions abort the batch.
+            if plan is None:
+                return self._call_operator(node, record, worker)
+            return plan.invoke(
+                site, self._call_operator, node, record, worker,
+                subject=record,
+            )
+        clock = policy.clock
+        attempt = 0
+        while True:
+            attempt += 1
+            attempt_started = clock.monotonic()
+            try:
+                if plan is not None:
+                    outputs = plan.invoke(
+                        site, self._call_operator, node, record, worker,
+                        subject=record,
+                    )
+                else:
+                    outputs = self._call_operator(node, record, worker)
+                timeout = policy.per_attempt_timeout_seconds
+                if timeout is not None:
+                    attempt_seconds = clock.monotonic() - attempt_started
+                    if attempt_seconds > timeout:
+                        raise OperatorError(
+                            "attempt %d took %.6fs, over the %.6fs "
+                            "per-attempt budget"
+                            % (attempt, attempt_seconds, timeout),
+                            node_id=node.node_id,
+                            kind=node.kind,
+                            partition_id=worker.partition_id,
+                            attempts=attempt,
+                        )
+                return outputs
+            except policy.retryable as exc:
+                if attempt >= policy.max_attempts:
+                    return self._exhausted(node, record, worker,
+                                           attempt, exc)
+                self._on_retry()
+                delay = policy.delay_for(attempt)
+                self._on_backoff(delay)
+                if delay > 0:
+                    clock.sleep(delay)
+
+    def _exhausted(
+        self,
+        node: Any,
+        record: StreamRecord,
+        worker: Any,
+        attempts: int,
+        exc: BaseException,
+    ) -> Any:
+        """Retry budget spent: quarantine the record (or fail fast)."""
+        if self.retry_policy.on_exhaust == "raise":
+            raise QuarantinedRecordError(
+                "record failed %d attempt(s) at operator %s#%d: %s"
+                % (attempts, node.kind, node.node_id, exc),
+                record=record,
+                node_id=node.node_id,
+                kind=node.kind,
+                partition_id=worker.partition_id,
+                attempts=attempts,
+            ) from exc
+        quarantined = QuarantinedRecord(
+            record=record,
+            error=str(exc) or repr(exc),
+            error_type=type(exc).__name__,
+            node_id=node.node_id,
+            kind=node.kind,
+            partition_id=worker.partition_id,
+            attempts=attempts,
+        )
+        self._on_quarantine(quarantined)
+        return _QUARANTINED
+
+
+# ----------------------------------------------------------------------
+# Backend protocol
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """How a :class:`StreamingContext` executes partition work.
+
+    A backend is attached to exactly one context (:meth:`attach`), runs
+    every partition of a micro-batch (:meth:`run_batch`), services state
+    RPCs against resident workers (:meth:`call`), and releases its
+    resources on :meth:`shutdown` (idempotent).
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._ctx: Any = None
+        self.closed = False
+
+    def attach(self, ctx: Any) -> None:
+        if self._ctx is not None and self._ctx is not ctx:
+            raise ExecutionError(
+                "execution backend %r is already attached to another "
+                "streaming context" % (self.name,)
+            )
+        self._ctx = ctx
+
+    def run_batch(self, buckets: List[List[StreamRecord]]) -> None:
+        raise NotImplementedError
+
+    def call(self, partition_id: int, fn: Callable[[Any], Any]) -> Any:
+        """Run ``fn(worker)`` against the partition's resident worker."""
+        return fn(self._ctx.workers[partition_id])
+
+    def shutdown(self) -> None:
+        self.closed = True
+
+
+class SerialBackend(ExecutionBackend):
+    """Partitions run inline on the driver thread (the default)."""
+
+    name = "serial"
+
+    def run_batch(self, buckets: List[List[StreamRecord]]) -> None:
+        ctx = self._ctx
+        for worker, bucket in zip(ctx.workers, buckets):
+            ctx._executor.run_partition(worker, bucket)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Partitions run on a thread pool (the old ``parallel=True``)."""
+
+    name = "threads"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def attach(self, ctx: Any) -> None:
+        super().attach(ctx)
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=ctx.num_partitions
+            )
+
+    def run_batch(self, buckets: List[List[StreamRecord]]) -> None:
+        ctx = self._ctx
+        futures = [
+            self._pool.submit(ctx._executor.run_partition, worker, bucket)
+            for worker, bucket in zip(ctx.workers, buckets)
+        ]
+        for future in futures:
+            future.result()
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Process backend: driver side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerInit:
+    """Everything a worker process needs, shipped once at startup.
+
+    Pickled as one object so shared identities survive — in particular a
+    :class:`~repro.faults.clock.ManualClock` shared between the retry
+    policy and the fault plan stays one object on the worker side.
+    """
+
+    partition_id: int
+    graph: List[Any]
+    retry_policy: Optional[RetryPolicy]
+    fault_plan: Optional[Any]
+    broadcast_values: Dict[int, Any]
+
+
+@dataclass
+class RemoteBatchResult:
+    """What one worker process returns for one micro-batch."""
+
+    partition_id: int
+    #: Captured sink emissions, in execution order.
+    emitted: List[Tuple[int, StreamRecord]] = field(default_factory=list)
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+    retries: int = 0
+    backoffs: List[float] = field(default_factory=list)
+    #: Manual-clock sleeps performed during the batch (replayed by the
+    #: driver) and clock advancement not attributable to sleeps.
+    sleeps: List[float] = field(default_factory=list)
+    advanced: float = 0.0
+    #: Post-batch fault-plan sync state (``FaultPlan.sync_state()``).
+    plan_state: Optional[Any] = None
+
+
+def _graph_spec(roots: List[Any]) -> List[Any]:
+    """A picklable description of the operator graph.
+
+    Sink functions are dropped (the worker captures instead of calling
+    them); every other operator function must be picklable — module-level
+    functions or instances of picklable classes, not lambdas or bound
+    methods of driver-resident objects.
+    """
+
+    def spec(node: Any) -> Any:
+        fn = None if node.kind == "sink" else node.fn
+        return (node.node_id, node.kind, fn,
+                [spec(child) for child in node.children])
+
+    return [spec(root) for root in roots]
+
+
+def _graph_from_spec(spec: List[Any]) -> List[Any]:
+    from .engine import _Node  # deferred: engine imports this module
+
+    def build(entry: Any) -> Any:
+        node_id, kind, fn, children = entry
+        node = _Node(node_id, kind, fn)
+        node.children = [build(child) for child in children]
+        return node
+
+    return [build(entry) for entry in spec]
+
+
+class ProcessBackend(ExecutionBackend):
+    """One long-lived worker process per partition (spawn context).
+
+    Workers start lazily on the first batch or state call — by then the
+    operator graph is complete — and stay resident: state maps live in
+    the worker, broadcast values are cached in the worker's block
+    manager, and per batch only the record bucket plus broadcast deltas
+    cross the pipe.
+
+    Every operator function in the graph must be picklable under the
+    spawn context, and the driving program must be importable from a
+    fresh interpreter (the standard ``if __name__ == "__main__"`` guard
+    applies).
+    """
+
+    name = "processes"
+
+    def __init__(self, mp_context: str = "spawn") -> None:
+        super().__init__()
+        self._mp_context = mp_context
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        #: Broadcast versions already synced to the workers (all workers
+        #: receive identical deltas, so one map covers the fleet).
+        self._synced_versions: Dict[int, int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def _ensure_started(self) -> None:
+        if self.closed:
+            raise ExecutionError(
+                "process backend has been shut down; create a new "
+                "StreamingContext to run further batches"
+            )
+        if self._procs:
+            return
+        ctx = self._ctx
+        mp = multiprocessing.get_context(self._mp_context)
+        spec = _graph_spec(ctx._roots)
+        snapshot = ctx.broadcast_manager.sync_snapshot()
+        values = {bv_id: value for bv_id, (_, value) in snapshot.items()}
+        self._synced_versions = {
+            bv_id: version for bv_id, (version, _) in snapshot.items()
+        }
+        for partition_id in range(ctx.num_partitions):
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name="loglens-worker-%d" % partition_id,
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            init = _WorkerInit(
+                partition_id=partition_id,
+                graph=spec,
+                retry_policy=ctx.retry_policy,
+                fault_plan=ctx._fault_plan,
+                broadcast_values=values,
+            )
+            self._send(partition_id, ("init", init))
+        for partition_id in range(ctx.num_partitions):
+            self._recv(partition_id)  # "ready" ack (or startup error)
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    # -- wire helpers --------------------------------------------------
+    def _send(self, partition_id: int, message: Any) -> None:
+        try:
+            self._conns[partition_id].send(message)
+        except (OSError, ValueError) as exc:
+            raise ExecutionError(
+                "lost pipe to worker process for partition %d (%s)"
+                % (partition_id, exc)
+            ) from exc
+        except Exception as exc:
+            raise ExecutionError(
+                "could not ship %r message to partition %d: %s (every "
+                "operator function must be picklable for the process "
+                "backend)" % (message[0], partition_id, exc)
+            ) from exc
+
+    def _recv(self, partition_id: int) -> Any:
+        try:
+            tag, payload = self._conns[partition_id].recv()
+        except (EOFError, OSError) as exc:
+            raise ExecutionError(
+                "worker process for partition %d died mid-request"
+                % partition_id
+            ) from exc
+        if tag == "error":
+            raise payload
+        return payload
+
+    # -- execution -----------------------------------------------------
+    def _broadcast_deltas(self) -> List[Tuple[int, Any]]:
+        snapshot = self._ctx.broadcast_manager.sync_snapshot()
+        deltas = [
+            (bv_id, value)
+            for bv_id, (version, value) in snapshot.items()
+            if self._synced_versions.get(bv_id) != version
+        ]
+        self._synced_versions = {
+            bv_id: version for bv_id, (version, _) in snapshot.items()
+        }
+        return deltas
+
+    def run_batch(self, buckets: List[List[StreamRecord]]) -> None:
+        ctx = self._ctx
+        self._ensure_started()
+        deltas = self._broadcast_deltas()
+        plan = ctx._fault_plan
+        plan_sent = plan.sync_state() if plan is not None else None
+        policy = ctx.retry_policy
+        clock = policy.clock if policy is not None else None
+        clock_now = (
+            clock.monotonic() if isinstance(clock, ManualClock) else None
+        )
+        for partition_id, bucket in enumerate(buckets):
+            self._send(
+                partition_id,
+                ("batch", bucket, deltas, plan_sent, clock_now),
+            )
+        outcomes = [
+            self._recv(partition_id)
+            for partition_id in range(len(buckets))
+        ]
+        for outcome in outcomes:
+            ctx._absorb_remote(outcome, plan_sent)
+
+    def call(self, partition_id: int, fn: Callable[[Any], Any]) -> Any:
+        self._ensure_started()
+        self._send(partition_id, ("call", fn))
+        return self._recv(partition_id)
+
+
+def resolve_backend(execution: Any) -> ExecutionBackend:
+    """Map an ``execution=`` value to a fresh backend instance."""
+    if isinstance(execution, ExecutionBackend):
+        return execution
+    factories = {
+        "serial": SerialBackend,
+        "threads": ThreadBackend,
+        "processes": ProcessBackend,
+    }
+    try:
+        return factories[execution]()
+    except KeyError:
+        raise ValueError(
+            "unknown execution backend %r; expected one of %s"
+            % (execution, ", ".join(repr(n) for n in EXECUTION_BACKENDS))
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Process backend: worker side
+# ----------------------------------------------------------------------
+class _WorkerProcessState:
+    """Everything resident in one worker process between batches."""
+
+    def __init__(self, init: _WorkerInit) -> None:
+        from .broadcast import BlockManager  # local to keep import light
+        from .engine import WorkerContext
+
+        self.worker = WorkerContext(
+            init.partition_id, BlockManager(init.partition_id)
+        )
+        for bv_id, value in init.broadcast_values.items():
+            self.worker.block_manager.put(bv_id, value)
+        self.retry_policy = init.retry_policy
+        self.fault_plan = init.fault_plan
+        self.retries = 0
+        self.backoffs: List[float] = []
+        self.quarantined: List[QuarantinedRecord] = []
+        self.executor = PartitionExecutor(
+            _graph_from_spec(init.graph),
+            init.retry_policy,
+            init.fault_plan,
+            capture_sinks=True,
+            on_retry=self._count_retry,
+            on_backoff=self.backoffs.append,
+            on_quarantine=self.quarantined.append,
+        )
+
+    def _count_retry(self) -> None:
+        self.retries += 1
+
+    def run_batch(
+        self,
+        records: List[StreamRecord],
+        broadcast_deltas: List[Tuple[int, Any]],
+        plan_state: Optional[Any],
+        clock_now: Optional[float],
+    ) -> RemoteBatchResult:
+        for bv_id, value in broadcast_deltas:
+            self.worker.block_manager.put(bv_id, value)
+        plan = self.fault_plan
+        if plan is not None and plan_state is not None:
+            plan.load_sync_state(plan_state)
+        policy = self.retry_policy
+        clock = policy.clock if policy is not None else None
+        manual = isinstance(clock, ManualClock)
+        if manual:
+            if clock_now is not None:
+                clock.reset(clock_now)
+            sleeps_before = len(clock.sleeps)
+            clock_before = clock.monotonic()
+        self.executor.emitted = []
+        self.quarantined.clear()
+        self.backoffs.clear()
+        self.retries = 0
+        self.executor.run_partition(self.worker, records)
+        sleeps: List[float] = []
+        advanced = 0.0
+        if manual:
+            sleeps = list(clock.sleeps[sleeps_before:])
+            advanced = max(
+                0.0,
+                (clock.monotonic() - clock_before)
+                - sum(max(0.0, s) for s in sleeps),
+            )
+        return RemoteBatchResult(
+            partition_id=self.worker.partition_id,
+            emitted=self.executor.emitted,
+            quarantined=list(self.quarantined),
+            retries=self.retries,
+            backoffs=list(self.backoffs),
+            sleeps=sleeps,
+            advanced=advanced,
+            plan_state=plan.sync_state() if plan is not None else None,
+        )
+
+
+def _reply(conn: Any, message: Tuple[str, Any]) -> None:
+    """Send a reply, degrading to a picklable error if pickling fails.
+
+    ``Connection.send`` serialises fully before writing, so a pickling
+    failure leaves the pipe clean for the fallback message.
+    """
+    try:
+        conn.send(message)
+    except Exception as exc:
+        conn.send((
+            "error",
+            ExecutionError(
+                "worker reply could not be pickled: %s" % (exc,)
+            ),
+        ))
+
+
+def _worker_main(conn: Any) -> None:
+    """Entry point of one worker process: serve requests until stopped."""
+    # The driver owns interrupt handling; workers exit via "stop" (or the
+    # daemon flag when the driver dies).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    state: Optional[_WorkerProcessState] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "init":
+                state = _WorkerProcessState(message[1])
+                _reply(conn, ("ready", None))
+            elif kind == "batch":
+                _, records, deltas, plan_state, clock_now = message
+                result = state.run_batch(
+                    records, deltas, plan_state, clock_now
+                )
+                _reply(conn, ("ok", result))
+            elif kind == "call":
+                _reply(conn, ("ok", message[1](state.worker)))
+            else:  # pragma: no cover - protocol guard
+                _reply(conn, (
+                    "error",
+                    ExecutionError("unknown worker message %r" % (kind,)),
+                ))
+        except BaseException as exc:  # noqa: BLE001 - shipped to driver
+            try:
+                _reply(conn, ("error", exc))
+            except Exception:  # pragma: no cover - defensive
+                break
+    conn.close()
