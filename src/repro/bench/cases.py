@@ -51,16 +51,20 @@ Primary cases (each emits one ``BENCH_<case>.json``):
     through a real loopback :class:`~repro.ingest.server.IngestServer`
     into a bus topic — the network front door's admission hot path
     (framing, batching, ack round-trips) under client concurrency.
-``engine_serial`` / ``engine_multiprocess``
+``engine_serial`` / ``engine_multiprocess`` / ``engine_shm``
     The same full-size parser workload pushed through a
     :class:`~repro.streaming.engine.StreamingContext` micro-batch on the
-    serial backend versus the process backend (one long-lived worker
-    process per partition).  The pair isolates the multicore execution
-    question from the rest of the service: identical records, identical
-    operator graph, only the backend differs.  Worker processes are
-    started and warmed during the excluded warmup runs, so the timed
-    samples measure steady-state batches (pickled record buckets out,
-    emitted records back), not spawn cost.
+    serial backend versus the process backend with the pickle pipe
+    transport (``engine_multiprocess``, the PR 8 wire format) versus
+    the process backend with the shared-memory columnar transport
+    (``engine_shm``, the default).  The trio isolates the transport
+    question: identical records, identical operator graph, only the
+    backend/transport differs.  Worker processes are started and warmed
+    during setup, so the timed samples measure steady-state batches,
+    not spawn cost.  The ``engine_batch_records`` param (0 = one batch)
+    splits the workload into fixed-size micro-batches for batch-size
+    sweeps: ``loglens bench --case engine_multiprocess --case
+    engine_shm --set engine_batch_records=256``.
 
 Derived cases (computed from primary samples, no extra timing):
 
@@ -71,10 +75,13 @@ Derived cases (computed from primary samples, no extra timing):
     Per-repeat ratio of metrics-on to metrics-off service time; the
     observability tax, lower is better.
 ``engine_multicore_speedup``
-    Per-repeat ratio of serial-backend to process-backend engine time;
-    the multicore payoff, higher is better.  On single-core runners the
-    honest value is *below* 1 (IPC overhead with no parallelism to buy
-    back); see ``docs/PARALLELISM.md``.
+    Per-repeat ratio of serial-backend to process-backend (pickle
+    transport) engine time; the multicore payoff, higher is better.  On
+    single-core runners the honest value is *below* 1 (IPC overhead
+    with no parallelism to buy back); see ``docs/PARALLELISM.md``.
+``engine_shm_speedup``
+    The same ratio against the shm-transport backend — the transport
+    win on top of (or despite) the parallelism story.
 """
 
 from __future__ import annotations
@@ -139,6 +146,9 @@ QUICK_PARAMS: Dict[str, Any] = {
     "bus_records": 16000,
     "ingest_clients": 8,
     "ingest_lines_per_client": 400,
+    # 0 = the whole workload as one micro-batch; set a record count to
+    # sweep batch sizes (e.g. --set engine_batch_records=256).
+    "engine_batch_records": 0,
     "repeats": 3,
     "warmup": 1,
 }
@@ -157,6 +167,7 @@ FULL_PARAMS: Dict[str, Any] = {
     "bus_records": 20000,
     "ingest_clients": 32,
     "ingest_lines_per_client": 1000,
+    "engine_batch_records": 0,
     "repeats": 5,
     "warmup": 2,
 }
@@ -384,16 +395,25 @@ class _EngineParseOp:
 
 
 def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
-    """Serial vs process backend over one micro-batched parser workload."""
+    """Serial vs process backend (per transport) over one parser workload."""
+    from ..streaming.execution import ProcessBackend
+
     templates = params["templates"]
     logs = params["logs"]
+    batch_records = params.get("engine_batch_records", 0)
     partitions = 4
-    case_params = {
-        "templates": templates,
-        "logs": logs,
-        "partitions": partitions,
-    }
     shared: Dict[str, Any] = {}
+
+    def case_params(transport):
+        merged = {
+            "templates": templates,
+            "logs": logs,
+            "partitions": partitions,
+            "transport": transport,
+        }
+        if batch_records:
+            merged["engine_batch_records"] = batch_records
+        return merged
 
     def load():
         if "workload" not in shared:
@@ -413,10 +433,15 @@ def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
     def make_setup(execution):
         def setup():
             w, recs = load()
+            backend = (
+                execution
+                if isinstance(execution, str)
+                else ProcessBackend(transport=execution[1])
+            )
             ctx = StreamingContext(
                 num_partitions=partitions,
                 metrics=NullRegistry(),
-                execution=execution,
+                execution=backend,
             )
             model_bv = ctx.broadcast(w.model)
             collector = (
@@ -434,7 +459,11 @@ def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
     def run_engine(state):
         ctx, collector, recs = state
         collector.clear()
-        ctx.run_batch(recs)
+        if batch_records:
+            for start in range(0, len(recs), batch_records):
+                ctx.run_batch(recs[start:start + batch_records])
+        else:
+            ctx.run_batch(recs)
         return len(collector)
 
     def make_check(name):
@@ -457,7 +486,7 @@ def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
     return [
         BenchCase(
             name="engine_serial",
-            params=case_params,
+            params=case_params("none"),
             setup=make_setup("serial"),
             run=run_engine,
             records=lambda s: len(s[2]),
@@ -466,11 +495,20 @@ def _engine_cases(params: Dict[str, Any]) -> List[BenchCase]:
         ),
         BenchCase(
             name="engine_multiprocess",
-            params=case_params,
-            setup=make_setup("processes"),
+            params=case_params("pickle"),
+            setup=make_setup(("processes", "pickle")),
             run=run_engine,
             records=lambda s: len(s[2]),
             check=make_check("engine_multiprocess"),
+            group="engine",
+        ),
+        BenchCase(
+            name="engine_shm",
+            params=case_params("shm"),
+            setup=make_setup(("processes", "shm")),
+            run=run_engine,
+            records=lambda s: len(s[2]),
+            check=make_check("engine_shm"),
             group="engine",
         ),
     ]
@@ -857,15 +895,28 @@ def _data_plane_cases(params: Dict[str, Any]) -> List[BenchCase]:
 
 
 def build_cases(
-    quick: bool = False, execution: str = "serial"
+    quick: bool = False,
+    execution: str = "serial",
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> List[BenchCase]:
     """The primary case catalog at quick (CI) or full (local) size.
 
     ``execution`` selects the streaming backend the *service* cases run
-    on; the ``engine_serial`` / ``engine_multiprocess`` pair always pins
-    its own backends (that contrast is the case).
+    on; the ``engine_serial`` / ``engine_multiprocess`` / ``engine_shm``
+    trio always pins its own backends (that contrast is the case).
+    ``overrides`` replaces individual workload params (the CLI's
+    ``--set key=value``); unknown keys are rejected so a typo cannot
+    silently benchmark the default workload.
     """
-    params = QUICK_PARAMS if quick else FULL_PARAMS
+    params = dict(QUICK_PARAMS if quick else FULL_PARAMS)
+    if overrides:
+        unknown = sorted(set(overrides) - set(params))
+        if unknown:
+            raise ValueError(
+                "unknown bench param(s) %s; known: %s"
+                % (", ".join(unknown), ", ".join(sorted(params)))
+            )
+        params.update(overrides)
     return (
         _parser_cases(params)
         + _service_cases(params, execution=execution)
@@ -947,6 +998,16 @@ def _derived(results: List[CaseResult]) -> List[CaseResult]:
                 per_record=False,
             )
         )
+    if "engine_serial" in by_name and "engine_shm" in by_name:
+        out.append(
+            derive_ratio(
+                "engine_shm_speedup",
+                by_name["engine_serial"],
+                by_name["engine_shm"],
+                better="higher",
+                per_record=False,
+            )
+        )
     return out
 
 
@@ -955,6 +1016,7 @@ _DERIVED_GROUPS: Dict[str, str] = {
     "parser_speedup": "parser",
     "service_metrics_overhead": "service",
     "engine_multicore_speedup": "engine",
+    "engine_shm_speedup": "engine",
 }
 
 
@@ -985,18 +1047,23 @@ def run_bench(
     only: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     execution: str = "serial",
+    overrides: Optional[Dict[str, Any]] = None,
 ) -> List[CaseResult]:
     """Run the suite; returns primary results plus derived ratio cases.
 
     ``only`` filters primary cases by name (derived cases appear when
     both of their inputs ran).  ``execution`` selects the service cases'
-    streaming backend (the engine pair pins its own).
+    streaming backend (the engine trio pins its own).  ``overrides``
+    replaces workload params, see :func:`build_cases`.
     """
-    params = QUICK_PARAMS if quick else FULL_PARAMS
+    params = dict(QUICK_PARAMS if quick else FULL_PARAMS)
+    if overrides:
+        params.update(overrides)
     repeats = repeats if repeats is not None else params["repeats"]
     warmup = warmup if warmup is not None else params["warmup"]
     results: List[CaseResult] = []
-    for case in build_cases(quick, execution=execution):
+    for case in build_cases(quick, execution=execution,
+                            overrides=overrides):
         if only and case.name not in only:
             continue
         if progress is not None:

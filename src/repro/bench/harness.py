@@ -196,7 +196,7 @@ class CaseResult:
         return "BENCH_%s.json" % self.case
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema_version": self.schema_version,
             "case": self.case,
             "params": dict(self.params),
@@ -204,12 +204,17 @@ class CaseResult:
             "warmup": self.warmup,
             "unit": self.unit,
             "better": self.better,
-            "records": self.records,
-            "records_per_second": self.records_per_second,
             "samples": list(self.samples),
             "stats": dict(self.stats),
             "git_sha": self.git_sha,
         }
+        if self.unit != "ratio":
+            # Ratio-style cases process no records of their own; a
+            # literal ``"records": 0`` in the artifact reads as a broken
+            # workload, so the per-record fields are omitted entirely.
+            data["records"] = self.records
+            data["records_per_second"] = self.records_per_second
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CaseResult":

@@ -368,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.25)",
     )
     bench.add_argument(
+        "--set", action="append", dest="param_overrides",
+        metavar="KEY=VALUE",
+        help="override one workload param (repeatable), e.g. "
+             "--set engine_batch_records=256",
+    )
+    bench.add_argument(
         "--list", action="store_true", dest="list_cases",
         help="list the case catalog grouped by subsystem and exit",
     )
@@ -884,16 +890,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for name in names:
                 print("  %s" % name)
         return 0
-    results = run_bench(
-        quick=args.quick,
-        repeats=args.repeats,
-        warmup=args.warmup,
-        only=args.cases,
-        progress=lambda name: print(
-            "bench: running %s ..." % name, file=sys.stderr, flush=True
-        ),
-        execution=args.execution,
-    )
+    overrides = {}
+    for item in args.param_overrides or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            print("error: --set expects KEY=VALUE, got %r" % item,
+                  file=sys.stderr)
+            return 2
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    try:
+        results = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            only=args.cases,
+            progress=lambda name: print(
+                "bench: running %s ..." % name, file=sys.stderr, flush=True
+            ),
+            execution=args.execution,
+            overrides=overrides or None,
+        )
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     if not results:
         print("error: no cases matched", file=sys.stderr)
         return 2

@@ -221,11 +221,35 @@ class FaultPlan:
     # worker loads them before running (``load_sync_state``), and the
     # driver folds each worker's post-batch counters back in
     # (``apply_remote_delta``), so budgeted rules (``fail_first`` etc.)
-    # spend one shared budget across batches.  Within a single batch the
-    # partitions count independently from the same starting point —
-    # subject-predicate (``poison``) rules stay exact; call-ordinal
-    # budgets may over-fire by up to one batch's matching calls when the
-    # matching records span partitions (see docs/PARALLELISM.md).
+    # spend one shared budget across batches.  While any call-ordinal
+    # budget is still live (:meth:`has_live_call_budget`), the process
+    # backend chains partitions sequentially in partition order, so
+    # ordinal counting is *exactly* the serial schedule even when the
+    # matching records span partitions; once every budget is spent (or
+    # only ``poison`` rules remain, which depend solely on the subject)
+    # partitions run fully parallel again (see docs/PARALLELISM.md).
+    def has_live_call_budget(self) -> bool:
+        """True while any call-ordinal rule could still fire.
+
+        ``poison``-style rules (``always=True``) fire on the subject
+        alone — partition interleaving cannot change which records they
+        hit — so they never require sequencing.  ``fail_nth`` /
+        ``fail_first`` (and the slow variants) fire on the *count* of
+        matching calls, which is only exact if calls are counted in the
+        serial order; once ``seen`` has passed every scheduled ordinal
+        the rule is inert and the count no longer matters.
+        """
+        with self._lock:
+            for rule in self._rules:
+                if rule.always:
+                    continue
+                if rule.calls is not None:
+                    if rule.calls and rule.seen < max(rule.calls):
+                        return True
+                elif rule.seen < rule.first:
+                    return True
+        return False
+
     def sync_state(self) -> Any:
         """Counters to ship to workers before a batch (picklable)."""
         with self._lock:

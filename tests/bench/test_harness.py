@@ -186,3 +186,54 @@ class TestCaseResult:
             assert result.records_per_second == pytest.approx(
                 10 / result.median
             )
+
+    def test_ratio_artifact_omits_record_fields(self):
+        """A ratio case processes no records of its own; ``records: 0``
+        in the artifact would read as a broken workload."""
+        case = BenchCase(
+            name="speedup",
+            setup=lambda: None,
+            run=lambda state: None,
+            unit="ratio",
+            better="higher",
+        )
+        doc = run_case(case, repeats=2, warmup=0).to_dict()
+        assert "records" not in doc
+        assert "records_per_second" not in doc
+        assert doc["unit"] == "ratio"
+
+    def test_ratio_artifact_round_trips(self):
+        case = BenchCase(
+            name="speedup",
+            setup=lambda: None,
+            run=lambda state: None,
+            unit="ratio",
+            better="higher",
+        )
+        result = run_case(case, repeats=2, warmup=0)
+        clone = CaseResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+
+
+class TestBuildCaseOverrides:
+    def test_unknown_override_rejected(self):
+        from repro.bench.cases import build_cases
+
+        with pytest.raises(ValueError, match="engine_batch_record_typo"):
+            build_cases(quick=True, overrides={"engine_batch_record_typo": 1})
+
+    def test_override_lands_in_case_params(self):
+        from repro.bench.cases import build_cases
+
+        cases = {
+            c.name: c
+            for c in build_cases(
+                quick=True, overrides={"engine_batch_records": 256}
+            )
+        }
+        assert cases["engine_shm"].params["engine_batch_records"] == 256
+        assert (
+            cases["engine_multiprocess"].params["engine_batch_records"] == 256
+        )
+        assert cases["engine_shm"].params["transport"] == "shm"
+        assert cases["engine_multiprocess"].params["transport"] == "pickle"

@@ -1,0 +1,182 @@
+"""Shared-memory arena lifecycle: frames, growth, and (no) leaks."""
+
+import glob
+import os
+import signal
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs import MetricsRegistry
+from repro.streaming import StreamRecord, StreamingContext
+from repro.streaming.shm import (
+    DEFAULT_ARENA_BYTES,
+    FRAME_OVERHEAD,
+    MAX_ARENA_BYTES,
+    ShmArena,
+    grown_capacity,
+)
+
+
+def shm_segments():
+    """Names of live POSIX shared-memory segments (Linux: /dev/shm)."""
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+class TestFrames:
+    def test_roundtrip_through_attached_mapping(self):
+        owner = ShmArena.create(4096)
+        peer = ShmArena.attach(owner.name)
+        try:
+            offset, length = owner.write(b"hello arena")
+            view = peer.read(offset, length)
+            assert bytes(view) == b"hello arena"
+            view.release()
+        finally:
+            peer.close()
+            owner.close()
+
+    def test_ring_wraps_and_stays_readable(self):
+        arena = ShmArena.create(1024)
+        try:
+            payload = b"x" * 300
+            for _ in range(20):  # far past one lap of the ring
+                offset, length = arena.write(payload)
+                view = arena.read(offset, length)
+                assert bytes(view) == payload
+                view.release()
+        finally:
+            arena.close()
+
+    def test_oversized_payload_returns_none(self):
+        arena = ShmArena.create(256)
+        try:
+            assert arena.write(b"y" * 1000) is None
+            # The arena is still usable for frames that do fit.
+            assert arena.write(b"z" * 16) is not None
+        finally:
+            arena.close()
+
+    def test_read_rejects_out_of_bounds_descriptor(self):
+        arena = ShmArena.create(256)
+        try:
+            with pytest.raises(ExecutionError):
+                arena.read(0, 10_000)
+        finally:
+            arena.close()
+
+    def test_read_rejects_mismatched_length(self):
+        arena = ShmArena.create(256)
+        try:
+            offset, length = arena.write(b"abcdef")
+            with pytest.raises(ExecutionError):
+                arena.read(offset, length + 1)
+        finally:
+            arena.close()
+
+    def test_closed_arena_rejects_io(self):
+        arena = ShmArena.create(256)
+        arena.close()
+        assert arena.closed
+        with pytest.raises(ExecutionError):
+            arena.write(b"x")
+        with pytest.raises(ExecutionError):
+            arena.read(0, 1)
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            ShmArena.create(4)
+
+
+class TestGrowth:
+    def test_grown_capacity_is_power_of_two_from_default(self):
+        assert grown_capacity(10) == DEFAULT_ARENA_BYTES
+        cap = grown_capacity(3 << 20)
+        assert cap >= (3 << 20) + FRAME_OVERHEAD
+        assert cap & (cap - 1) == 0
+
+    def test_grown_capacity_respects_ceiling(self):
+        assert grown_capacity(MAX_ARENA_BYTES * 2) == MAX_ARENA_BYTES
+
+
+@needs_dev_shm
+class TestLeaks:
+    def test_close_unlinks_segment(self):
+        before = shm_segments()
+        arena = ShmArena.create(4096)
+        created = shm_segments() - before
+        assert len(created) == 1
+        arena.close()
+        arena.close()  # idempotent
+        assert shm_segments() - before == set()
+
+    def test_non_owner_close_keeps_segment(self):
+        owner = ShmArena.create(4096)
+        peer = ShmArena.attach(owner.name)
+        peer.close()
+        assert ShmArena.attach(owner.name).name == owner.name
+        owner.close()
+
+    def test_fifty_create_destroy_cycles_leak_nothing(self):
+        before = shm_segments()
+        for _ in range(50):
+            arena = ShmArena.create(8192)
+            offset, length = arena.write(b"payload")
+            view = arena.read(offset, length)
+            view.release()
+            arena.close()
+        assert shm_segments() - before == set()
+
+
+def double(record, worker):
+    return StreamRecord(value=record.value * 2, key=record.key)
+
+
+@needs_dev_shm
+class TestBackendCleanup:
+    def test_clean_shutdown_unlinks_all_arenas(self):
+        before = shm_segments()
+        ctx = StreamingContext(
+            num_partitions=2, metrics=MetricsRegistry(), execution="processes"
+        )
+        out = ctx.source().map(double).collector()
+        ctx.run_batch([StreamRecord(value=i, key=str(i)) for i in range(8)])
+        assert len(out.snapshot()) == 8
+        assert len(shm_segments() - before) == 4  # in + out per partition
+        ctx.shutdown()
+        assert shm_segments() - before == set()
+
+    def test_terminate_fallback_unlinks_and_counts(self):
+        """A worker killed mid-life must not strand segments, and the
+        terminate fallback must be visible via the obs counter."""
+        before = shm_segments()
+        registry = MetricsRegistry()
+        ctx = StreamingContext(
+            num_partitions=2, metrics=registry, execution="processes"
+        )
+        ctx.source().map(double).collector()
+        ctx.run_batch([StreamRecord(value=1, key="k")])
+        backend = ctx._backend
+        # SIGSTOP one worker: it can neither honour "stop" nor exit, so
+        # shutdown's join times out and the terminate fallback fires.
+        victim = backend._procs[0]
+        real_join = victim.join
+        os.kill(victim.pid, signal.SIGSTOP)
+        try:
+            victim.join = lambda timeout=None: None  # skip the 5s waits
+            ctx.shutdown()
+        finally:
+            try:
+                os.kill(victim.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        real_join(timeout=5)
+        assert shm_segments() - before == set()
+        assert (
+            registry.counter("execution.worker_terminated").value == 1
+        )
