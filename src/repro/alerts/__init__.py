@@ -1,0 +1,55 @@
+"""Rule-driven alerting: the layer that closes detection → notification.
+
+LogLens is pitched as an operational real-time analysis system, but
+detection alone leaves anomalies parked in storage.  This package adds
+the control loop on top: declarative :class:`AlertRule` objects
+(configured programmatically or through ``[[alerts.rules]]`` tables in
+a ``ServiceConfig`` file) are evaluated on the service's heartbeat
+cycle by an :class:`AlertEvaluator`, walk an OK → PENDING → FIRING →
+RESOLVED lifecycle with cooldown and deduplication, are recorded in an
+append-only :class:`AlertHistory` (memory or SQLite, same
+``StorageBackend`` protocol as every other store), and are delivered
+through pluggable :class:`AlertSink` implementations with retry and
+dead-lettering.  See ``docs/ALERTING.md``.
+"""
+
+from .evaluator import ALERTS_TOPIC, AlertEvaluator
+from .history import AlertHistory
+from .rules import (
+    CONDITIONS,
+    FIRING,
+    OK,
+    PENDING,
+    RESOLVED,
+    AlertEvent,
+    AlertRule,
+)
+from .sinks import (
+    AlertSink,
+    CollectingSink,
+    LogSink,
+    SinkSpec,
+    WebhookSink,
+    build_sink,
+    redact_url,
+)
+
+__all__ = [
+    "ALERTS_TOPIC",
+    "AlertEvaluator",
+    "AlertHistory",
+    "AlertEvent",
+    "AlertRule",
+    "AlertSink",
+    "CONDITIONS",
+    "CollectingSink",
+    "FIRING",
+    "LogSink",
+    "OK",
+    "PENDING",
+    "RESOLVED",
+    "SinkSpec",
+    "WebhookSink",
+    "build_sink",
+    "redact_url",
+]

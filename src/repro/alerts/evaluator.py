@@ -1,0 +1,462 @@
+"""The alert evaluator: windowed aggregation + lifecycle state machine.
+
+Runs on the service's heartbeat cycle (``LogLensService.step`` calls
+:meth:`AlertEvaluator.evaluate` with the extrapolated log-time "now"),
+evaluates every rule against the obs registry and the anomaly store,
+and walks each rule through ``OK → PENDING → FIRING → RESOLVED``:
+
+* **OK → PENDING** — the first breached evaluation;
+* **PENDING → FIRING** — ``pending_ticks`` consecutive breaches *and*
+  neither a cooldown nor a dedup suppression holds (a ``firing`` event
+  is recorded and delivered);
+* **FIRING → RESOLVED** — the first non-breached evaluation (a
+  ``resolved`` event is recorded and delivered; the resolve timestamp
+  starts the cooldown);
+* **RESOLVED → OK** — the following quiet evaluation (no event).
+
+Suppression keeps a breached rule parked in PENDING (counted in
+``alerts.suppressed``): a per-rule cooldown after a resolve, and a
+deduplication key shared across rules — while any rule with the same
+key is FIRING, the others never double-page.
+
+Delivery: every event is appended to the
+:class:`~repro.alerts.history.AlertHistory` *first* (the durable
+record), then handed to each sink through the ``alert.deliver``
+:class:`~repro.faults.FaultPlan` site, retried per the service
+:class:`~repro.streaming.retry.RetryPolicy` on its injectable clock,
+and — when the retry budget is exhausted — dead-lettered to the
+``loglens.alerts`` bus topic.  An event is therefore never lost
+(history + delivered-or-dead-lettered) and never double-delivered to a
+sink that accepted it (retries happen only after a raised failure).
+
+Anomaly-rate signals reuse the DocumentStore sorted time index
+(:meth:`~repro.service.storage.AnomalyStorage.in_window` is a bisect
+slice, not a scan), so evaluation stays off the hot path — the
+``alert_eval`` bench case holds this to the 25% CI gate.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import get_registry
+from .history import AlertHistory
+from .rules import (
+    FIRING,
+    OK,
+    PENDING,
+    RESOLVED,
+    AlertEvent,
+    AlertRule,
+    compare,
+)
+from .sinks import build_sink
+
+__all__ = ["ALERTS_TOPIC", "AlertEvaluator"]
+
+#: Dead-letter origin for exhausted alert deliveries
+#: (envelopes land on ``loglens.alerts.deadletter``).
+ALERTS_TOPIC = "loglens.alerts"
+
+
+class _RuleState:
+    """Mutable lifecycle state of one rule."""
+
+    __slots__ = ("state", "streak", "last_resolved_at", "fired")
+
+    def __init__(self) -> None:
+        self.state = OK
+        self.streak = 0  # consecutive breached evaluations
+        self.last_resolved_at: Optional[int] = None
+        self.fired = 0
+
+
+class AlertEvaluator:
+    """Evaluates alert rules and drives sink delivery.
+
+    Registered as the service's ``alerts``
+    :class:`~repro.service.sections.ReportSection`.
+    """
+
+    section_name = "alerts"
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] = (),
+        *,
+        metrics: Optional[Any] = None,
+        anomaly_storage: Optional[Any] = None,
+        history: Optional[AlertHistory] = None,
+        sinks: Sequence[Any] = (),
+        bus: Optional[Any] = None,
+        retry_policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
+    ) -> None:
+        self.rules = tuple(rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {n for n in names if names.count(n) > 1}
+            )
+            raise ValueError(
+                "duplicate alert rule name(s): %s" % ", ".join(duplicates)
+            )
+        self._metrics = metrics if metrics is not None else get_registry()
+        self.anomaly_storage = anomaly_storage
+        self.history = (
+            history if history is not None
+            else AlertHistory(metrics=self._metrics)
+        )
+        self.sinks = tuple(build_sink(s) for s in sinks)
+        self._bus = bus
+        if retry_policy is None:
+            from ..faults import ManualClock
+            from ..streaming.retry import RetryPolicy
+
+            retry_policy = RetryPolicy.no_wait(
+                max_attempts=3, clock=ManualClock()
+            )
+        self._retry = retry_policy
+        self._fault_plan = fault_plan
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in self.rules
+        }
+        self._last_evaluated_at: Optional[int] = None
+
+        # Exact local totals (report surface; survive a NullRegistry).
+        self.fired_total = 0
+        self.resolved_total = 0
+        self.suppressed_total = 0
+        self.delivered_total = 0
+        self.dead_lettered_total = 0
+
+        obs = self._metrics
+        self._m_evaluations = obs.counter("alerts.evaluations")
+        self._m_fired = obs.counter("alerts.fired")
+        self._m_resolved = obs.counter("alerts.resolved")
+        self._m_suppressed = obs.counter("alerts.suppressed")
+        self._m_delivered = obs.counter("alerts.delivered")
+        self._m_delivery_errors = obs.counter("alerts.delivery_errors")
+        self._m_dead_lettered = obs.counter("alerts.dead_lettered")
+        self._g_rules = obs.gauge("alerts.rules")
+        self._g_firing = obs.gauge("alerts.firing")
+        self._h_eval_seconds = obs.histogram("alerts.eval_seconds")
+        self._g_rules.set(len(self.rules))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_of(self, rule_name: str) -> str:
+        return self._states[rule_name].state
+
+    def firing(self) -> List[str]:
+        """Names of rules currently in the FIRING state, rule order."""
+        return [
+            rule.name
+            for rule in self.rules
+            if self._states[rule.name].state == FIRING
+        ]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, now_millis: Optional[int]
+    ) -> List[AlertEvent]:
+        """One evaluation pass over every rule at log time ``now``.
+
+        ``now_millis=None`` (no source has produced a timestamped log
+        yet) skips time-windowed anomaly-rate rules; metric rules still
+        evaluate (their events are stamped with time 0).
+        """
+        started = _time.perf_counter()
+        events: List[AlertEvent] = []
+        for rule in self.rules:
+            event = self._evaluate_rule(rule, now_millis)
+            if event is not None:
+                events.append(event)
+        if now_millis is not None:
+            self._last_evaluated_at = now_millis
+        self._m_evaluations.inc()
+        self._g_firing.set(len(self.firing()))
+        self._h_eval_seconds.observe(_time.perf_counter() - started)
+        for event in events:
+            self.history.append(event.to_dict())
+            self._deliver(event)
+        return events
+
+    def _evaluate_rule(
+        self, rule: AlertRule, now_millis: Optional[int]
+    ) -> Optional[AlertEvent]:
+        breached_value = self._signal(rule, now_millis)
+        if breached_value is None:
+            return None  # signal not evaluable this pass
+        breached, value = breached_value
+        state = self._states[rule.name]
+        event_time = now_millis if now_millis is not None else 0
+
+        if breached:
+            state.streak += 1
+            if state.state == FIRING:
+                return None  # ongoing alert: one fire per episode
+            if state.state in (OK, RESOLVED):
+                state.state = PENDING
+            if state.streak < rule.pending_ticks:
+                return None
+            if not self._may_fire(rule, now_millis):
+                self.suppressed_total += 1
+                self._m_suppressed.inc()
+                return None
+            state.state = FIRING
+            state.fired += 1
+            self.fired_total += 1
+            self._m_fired.inc()
+            return self._event(rule, FIRING, value, event_time)
+
+        state.streak = 0
+        if state.state == FIRING:
+            state.state = RESOLVED
+            state.last_resolved_at = event_time
+            self.resolved_total += 1
+            self._m_resolved.inc()
+            return self._event(rule, RESOLVED, value, event_time)
+        if state.state in (PENDING, RESOLVED):
+            state.state = OK
+        return None
+
+    def _event(
+        self, rule: AlertRule, state: str, value: float, when: int
+    ) -> AlertEvent:
+        return AlertEvent(
+            rule=rule.name,
+            state=state,
+            value=value,
+            threshold=rule.threshold,
+            condition=rule.condition,
+            signal=rule.signal,
+            timestamp_millis=when,
+            window_millis=rule.window_millis,
+            dedup_key=rule.dedup,
+        )
+
+    def _may_fire(
+        self, rule: AlertRule, now_millis: Optional[int]
+    ) -> bool:
+        """Cooldown + dedup gate on the PENDING → FIRING transition."""
+        state = self._states[rule.name]
+        if (
+            rule.cooldown_millis
+            and state.last_resolved_at is not None
+            and now_millis is not None
+            and now_millis - state.last_resolved_at < rule.cooldown_millis
+        ):
+            return False
+        for other in self.rules:
+            if other.name == rule.name:
+                continue
+            if (
+                other.dedup == rule.dedup
+                and self._states[other.name].state == FIRING
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _signal(
+        self, rule: AlertRule, now_millis: Optional[int]
+    ):
+        """``(breached, value)`` for one rule, or None if unevaluable."""
+        if rule.is_metric:
+            value = self._metric_value(rule)
+            if rule.condition == "absent":
+                return (value is None, value if value is not None else 0.0)
+            if value is None:
+                return (False, 0.0)
+            return (
+                compare(value, rule.condition, rule.threshold), value
+            )
+        if now_millis is None or self.anomaly_storage is None:
+            return None
+        count = self._anomaly_count(rule, now_millis)
+        if rule.condition == "stale":
+            return (count == 0, float(count))
+        return (
+            compare(float(count), rule.condition, rule.threshold),
+            float(count),
+        )
+
+    def _anomaly_count(self, rule: AlertRule, now_millis: int) -> int:
+        """Matching anomalies inside the sliding window (time index)."""
+        docs = self.anomaly_storage.in_window(
+            now_millis - rule.window_millis, now_millis
+        )
+        count = 0
+        for doc in docs:
+            if rule.source is not None and doc.get("source") != rule.source:
+                continue
+            if (
+                rule.anomaly_type is not None
+                and doc.get("type") != rule.anomaly_type
+            ):
+                continue
+            if rule.min_severity is not None:
+                severity = doc.get("severity")
+                if severity is None or severity < rule.min_severity:
+                    continue
+            count += 1
+        return count
+
+    def _metric_value(self, rule: AlertRule) -> Optional[float]:
+        """Aggregate a metric family across matching label sets.
+
+        Counters and gauges sum across series; histogram statistics
+        take ``count``/``sum`` summed, ``mean`` recomputed from the
+        summed totals, and order statistics (min/max/p50/p95/p99) as
+        the worst case (max) across series.  Returns None when no
+        series matches (the ``absent`` condition).
+        """
+        series = self._metrics.family(rule.metric_family)
+        wanted = dict(rule.metric_labels)
+        stat = rule.metric_stat
+        total = 0.0
+        total_count = 0
+        worst: Optional[float] = None
+        matched = False
+        for labels, metric in series:
+            if any(labels.get(k) != v for k, v in wanted.items()):
+                continue
+            matched = True
+            snapshot = metric.to_dict()
+            if snapshot["type"] in ("counter", "gauge"):
+                total += float(snapshot["value"])
+                continue
+            # Histogram series.
+            if stat in ("count", "sum"):
+                total += float(snapshot[stat])
+            elif stat in ("value", "mean"):
+                total += float(snapshot["sum"])
+                total_count += int(snapshot["count"])
+            else:  # min/max/p50/p95/p99 — worst case across series
+                candidate = snapshot[stat]
+                if candidate is None:
+                    continue
+                if worst is None or candidate > worst:
+                    worst = float(candidate)
+        if not matched:
+            return None
+        if worst is not None:
+            return worst
+        if total_count:
+            return total / total_count
+        return total
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, event: AlertEvent) -> None:
+        for sink in self.sinks:
+            self._deliver_to(sink, event)
+
+    def _deliver_to(self, sink: Any, event: AlertEvent) -> None:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.invoke(
+                        "alert.deliver", sink.deliver, event, subject=event
+                    )
+                else:
+                    sink.deliver(event)
+            except Exception as exc:
+                self._m_delivery_errors.inc()
+                if attempts >= self._retry.max_attempts:
+                    self._dead_letter(sink, event, exc, attempts)
+                    return
+                self._retry.clock.sleep(self._retry.delay_for(attempts))
+                continue
+            self.delivered_total += 1
+            self._m_delivered.inc()
+            return
+
+    def _dead_letter(
+        self, sink: Any, event: AlertEvent, error: Exception, attempts: int
+    ) -> None:
+        self.dead_lettered_total += 1
+        self._m_dead_lettered.inc()
+        if self._bus is None:
+            return
+        self._bus.produce_failed(
+            ALERTS_TOPIC,
+            event.to_dict(),
+            error,
+            key=event.rule,
+            metadata={
+                "sink": getattr(sink, "name", str(sink)),
+                "attempts": attempts,
+                "state": event.state,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Manual firing (the CLI's ``alerts test-fire``)
+    # ------------------------------------------------------------------
+    def test_fire(
+        self, rule_name: str, now_millis: int = 0
+    ) -> AlertEvent:
+        """Record + deliver a synthetic ``test`` event for one rule.
+
+        Exercises the full history/sink/dead-letter path without
+        touching lifecycle state — the operational "is my pager wired
+        up" check.
+        """
+        rule = next(
+            (r for r in self.rules if r.name == rule_name), None
+        )
+        if rule is None:
+            raise KeyError(
+                "no alert rule named %r; rules: %s"
+                % (rule_name,
+                   ", ".join(r.name for r in self.rules) or "(none)")
+            )
+        event = AlertEvent(
+            rule=rule.name,
+            state="test",
+            value=0.0,
+            threshold=rule.threshold,
+            condition=rule.condition,
+            signal=rule.signal,
+            timestamp_millis=now_millis,
+            window_millis=rule.window_millis,
+            dedup_key=rule.dedup,
+        )
+        self.history.append(event.to_dict())
+        self._deliver(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Report section
+    # ------------------------------------------------------------------
+    def report_section(self) -> Dict[str, Any]:
+        """The ``alerts`` section of :meth:`LogLensService.report`."""
+        return {
+            "rules": len(self.rules),
+            "firing": self.firing(),
+            "states": {
+                rule.name: self._states[rule.name].state
+                for rule in self.rules
+            },
+            "fired": self.fired_total,
+            "resolved": self.resolved_total,
+            "suppressed": self.suppressed_total,
+            "delivered": self.delivered_total,
+            "dead_lettered": self.dead_lettered_total,
+            "history": self.history.count(),
+            "sinks": [
+                getattr(sink, "name", str(sink)) for sink in self.sinks
+            ],
+            "last_evaluated_millis": self._last_evaluated_at,
+        }

@@ -1,0 +1,316 @@
+"""The alert data model: rules, lifecycle states, and events.
+
+An :class:`AlertRule` names a *signal*, a *condition*, and a sliding
+time *window*, and the :class:`~repro.alerts.evaluator.AlertEvaluator`
+walks each rule through the lifecycle ``OK → PENDING → FIRING →
+RESOLVED`` on the service's heartbeat cycle.
+
+Signal grammar
+--------------
+* ``"anomaly_rate"`` — the number of anomalies stored in the sliding
+  window ``[now - window_millis, now]`` (log time, extrapolated by the
+  heartbeat controller), optionally filtered by ``source``,
+  ``anomaly_type``, and ``min_severity``.
+* ``"metric:<family>"`` / ``"metric:<family>:<stat>"`` — a family from
+  the obs :class:`~repro.obs.metrics.MetricsRegistry`, aggregated
+  across label sets (filtered by ``metric_labels`` subset match).
+  ``<stat>`` selects a histogram statistic (``count``, ``sum``,
+  ``mean``, ``min``, ``max``, ``p50``, ``p95``, ``p99``); counters and
+  gauges use their ``value``.
+
+Condition grammar
+-----------------
+``>``, ``>=``, ``<``, ``<=``, ``==`` compare the signal value against
+``threshold``.  Two special conditions take no threshold:
+
+* ``absent`` (metric signals only) — fires while the metric family has
+  no matching series at all;
+* ``stale`` (anomaly-rate signals only) — fires while no matching
+  anomaly has a timestamp inside the window (a detector or source that
+  went quiet).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "OK",
+    "PENDING",
+    "FIRING",
+    "RESOLVED",
+    "CONDITIONS",
+    "HISTOGRAM_STATS",
+    "AlertRule",
+    "AlertEvent",
+    "compare",
+]
+
+#: Lifecycle states of a rule (also the ``state`` of history documents).
+OK = "ok"
+PENDING = "pending"
+FIRING = "firing"
+RESOLVED = "resolved"
+
+_COMPARATORS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+}
+
+#: Every condition an :class:`AlertRule` accepts.
+CONDITIONS = tuple(_COMPARATORS) + ("absent", "stale")
+
+#: Histogram statistics a ``metric:<family>:<stat>`` signal may select.
+HISTOGRAM_STATS = (
+    "value", "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+)
+
+
+def compare(value: float, condition: str, threshold: float) -> bool:
+    """Apply one of the comparison conditions (not absent/stale)."""
+    try:
+        comparator = _COMPARATORS[condition]
+    except KeyError:
+        raise ValueError(
+            "condition %r is not a comparison; valid comparisons: %s"
+            % (condition, ", ".join(_COMPARATORS))
+        )
+    return bool(comparator(value, threshold))
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alerting rule (frozen; see module docstring).
+
+    Parameters
+    ----------
+    name:
+        Unique rule name (the history/dedup identity).
+    signal:
+        ``"anomaly_rate"`` or ``"metric:<family>[:<stat>]"``.
+    condition / threshold:
+        ``value <condition> threshold`` breaches the rule; ``absent``
+        and ``stale`` ignore the threshold.
+    window_millis:
+        Sliding window width for anomaly-rate signals (log time).
+    source / anomaly_type / min_severity:
+        Anomaly filters (exact source, exact ``type`` field, minimum
+        integer severity).
+    metric_labels:
+        Label subset a metric series must carry to count toward the
+        aggregate (mapping or tuple of pairs; stored sorted).
+    pending_ticks:
+        Consecutive breached evaluations required before firing
+        (``1`` fires on the first breach).
+    cooldown_millis:
+        After a resolve, the rule may not re-fire until this much log
+        time has passed (it holds in PENDING and the evaluator counts a
+        suppression).
+    dedup_key:
+        Rules sharing a dedup key never fire concurrently — while one
+        is FIRING the others hold in PENDING.  Defaults to ``name``
+        (every rule its own key).
+    """
+
+    name: str
+    signal: str = "anomaly_rate"
+    condition: str = ">"
+    threshold: float = 0.0
+    window_millis: int = 60_000
+    source: Optional[str] = None
+    anomaly_type: Optional[str] = None
+    min_severity: Optional[int] = None
+    metric_labels: Union[
+        Mapping[str, str], Tuple[Tuple[str, str], ...]
+    ] = ()
+    pending_ticks: int = 1
+    cooldown_millis: int = 0
+    dedup_key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alert rule needs a non-empty name")
+        if isinstance(self.metric_labels, Mapping):
+            object.__setattr__(
+                self,
+                "metric_labels",
+                tuple(sorted(
+                    (str(k), str(v))
+                    for k, v in self.metric_labels.items()
+                )),
+            )
+        else:
+            object.__setattr__(
+                self,
+                "metric_labels",
+                tuple(sorted(
+                    (str(k), str(v)) for k, v in self.metric_labels
+                )),
+            )
+        if self.condition not in CONDITIONS:
+            raise ValueError(
+                "rule %r: unknown condition %r; valid conditions: %s"
+                % (self.name, self.condition, ", ".join(CONDITIONS))
+            )
+        if self.signal != "anomaly_rate":
+            if not self.signal.startswith("metric:"):
+                raise ValueError(
+                    "rule %r: signal must be 'anomaly_rate' or "
+                    "'metric:<family>[:<stat>]'; got %r"
+                    % (self.name, self.signal)
+                )
+            if not self.metric_family:
+                raise ValueError(
+                    "rule %r: metric signal names no family (%r)"
+                    % (self.name, self.signal)
+                )
+            if self.metric_stat not in HISTOGRAM_STATS:
+                raise ValueError(
+                    "rule %r: unknown metric stat %r; valid stats: %s"
+                    % (self.name, self.metric_stat,
+                       ", ".join(HISTOGRAM_STATS))
+                )
+        if self.condition == "absent" and not self.is_metric:
+            raise ValueError(
+                "rule %r: 'absent' applies to metric signals only "
+                "(use 'stale' for anomaly_rate)" % self.name
+            )
+        if self.condition == "stale" and self.is_metric:
+            raise ValueError(
+                "rule %r: 'stale' applies to anomaly_rate signals only "
+                "(use 'absent' for metrics)" % self.name
+            )
+        if self.window_millis <= 0:
+            raise ValueError(
+                "rule %r: window_millis must be > 0" % self.name
+            )
+        if self.pending_ticks < 1:
+            raise ValueError(
+                "rule %r: pending_ticks must be >= 1" % self.name
+            )
+        if self.cooldown_millis < 0:
+            raise ValueError(
+                "rule %r: cooldown_millis must be >= 0" % self.name
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_metric(self) -> bool:
+        return self.signal.startswith("metric:")
+
+    @property
+    def metric_family(self) -> Optional[str]:
+        """The metric family a ``metric:`` signal names (else None)."""
+        if not self.is_metric:
+            return None
+        return self.signal.split(":", 2)[1]
+
+    @property
+    def metric_stat(self) -> Optional[str]:
+        """The selected statistic of a ``metric:`` signal (else None)."""
+        if not self.is_metric:
+            return None
+        parts = self.signal.split(":", 2)
+        return parts[2] if len(parts) == 3 else "value"
+
+    @property
+    def dedup(self) -> str:
+        """The effective deduplication key (``dedup_key`` or name)."""
+        return self.dedup_key if self.dedup_key is not None else self.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AlertRule":
+        """Build a rule from a config-file table.
+
+        Unknown keys raise ``ValueError`` listing the valid keys, so a
+        typo in a config file fails loudly at load time.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                "unknown alert rule key(s) %s (rule %r); valid keys: %s"
+                % (
+                    ", ".join(unknown),
+                    data.get("name", "?"),
+                    ", ".join(sorted(valid)),
+                )
+            )
+        return cls(**dict(data))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON/TOML-safe export; omits unset optional fields."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "signal": self.signal,
+            "condition": self.condition,
+            "threshold": self.threshold,
+            "window_millis": self.window_millis,
+            "pending_ticks": self.pending_ticks,
+            "cooldown_millis": self.cooldown_millis,
+        }
+        if self.source is not None:
+            out["source"] = self.source
+        if self.anomaly_type is not None:
+            out["anomaly_type"] = self.anomaly_type
+        if self.min_severity is not None:
+            out["min_severity"] = self.min_severity
+        if self.metric_labels:
+            out["metric_labels"] = dict(self.metric_labels)
+        if self.dedup_key is not None:
+            out["dedup_key"] = self.dedup_key
+        return out
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One lifecycle transition of a rule (what sinks deliver).
+
+    ``state`` is ``"firing"``, ``"resolved"``, or ``"test"`` (the CLI's
+    ``alerts test-fire``).  ``value`` is the signal value that drove the
+    transition; ``timestamp_millis`` is the evaluation's log time.
+    """
+
+    rule: str
+    state: str
+    value: float
+    threshold: float
+    condition: str
+    signal: str
+    timestamp_millis: int
+    window_millis: int
+    dedup_key: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The alert-history document / sink payload."""
+        return {
+            "rule": self.rule,
+            "state": self.state,
+            "value": self.value,
+            "threshold": self.threshold,
+            "condition": self.condition,
+            "signal": self.signal,
+            "timestamp_millis": self.timestamp_millis,
+            "window_millis": self.window_millis,
+            "dedup_key": self.dedup_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AlertEvent":
+        return cls(
+            rule=data["rule"],
+            state=data["state"],
+            value=data["value"],
+            threshold=data["threshold"],
+            condition=data["condition"],
+            signal=data["signal"],
+            timestamp_millis=data["timestamp_millis"],
+            window_millis=data["window_millis"],
+            dedup_key=data["dedup_key"],
+        )

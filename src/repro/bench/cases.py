@@ -43,6 +43,12 @@ Primary cases (each emits one ``BENCH_<case>.json``):
     Steady-state heartbeat sweeps over a large population of open
     events, none of which expire — the per-tick cost Section V-B's
     heartbeat mechanism pays at scale.
+``alert_eval``
+    :class:`~repro.alerts.AlertEvaluator` ticks: a rule population
+    (windowed anomaly-rate rules across sources/severities, mixed
+    conditions, cooldowns, pending counts) evaluated over a seeded
+    anomaly archive as log-time advances — the per-heartbeat cost the
+    alerting control plane adds to ``LogLensService.step``.
 ``bus_roundtrip``
     Keyed batched produce plus consumer poll of the full topic through
     :class:`~repro.service.bus.MessageBus`.
@@ -91,6 +97,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..alerts import AlertEvaluator, AlertRule, CollectingSink
 from ..baselines.logstash import NaiveGrokParser
 from ..ingest.server import IngestServer
 from ..obs import MetricsRegistry, NullRegistry
@@ -144,6 +151,9 @@ QUICK_PARAMS: Dict[str, Any] = {
     "detector_open_events": 5000,
     "detector_heartbeats": 500,
     "bus_records": 16000,
+    "alert_rules": 24,
+    "alert_anomalies": 6000,
+    "alert_ticks": 150,
     "ingest_clients": 8,
     "ingest_lines_per_client": 400,
     # 0 = the whole workload as one micro-batch; set a record count to
@@ -165,6 +175,9 @@ FULL_PARAMS: Dict[str, Any] = {
     "detector_open_events": 10000,
     "detector_heartbeats": 100,
     "bus_records": 20000,
+    "alert_rules": 64,
+    "alert_anomalies": 30000,
+    "alert_ticks": 400,
     "ingest_clients": 32,
     "ingest_lines_per_client": 1000,
     "engine_batch_records": 0,
@@ -600,6 +613,90 @@ def _ingest_cases(params: Dict[str, Any]) -> List[BenchCase]:
     ]
 
 
+def _alert_cases(params: Dict[str, Any]) -> List[BenchCase]:
+    """The alerting control plane's per-heartbeat evaluation cost."""
+    n_rules = params["alert_rules"]
+    n_docs = params["alert_anomalies"]
+    n_ticks = params["alert_ticks"]
+    sources = ["src-%d" % i for i in range(8)]
+    types = ["missing_end", "unparsed_log", "slow_transition"]
+    doc_gap_millis = 50
+    span = n_docs * doc_gap_millis
+
+    def setup():
+        storage = AnomalyStorage(metrics=NullRegistry())
+        for i in range(n_docs):
+            storage.store({
+                "type": types[i % len(types)],
+                "severity": (i * 7) % 5,
+                "source": sources[i % len(sources)],
+                "timestamp_millis": i * doc_gap_millis,
+                "reason": "bench",
+            })
+        rules = []
+        for r in range(n_rules):
+            rules.append(AlertRule(
+                name="rule-%03d" % r,
+                signal="anomaly_rate",
+                condition=(">", ">=", "<", "stale")[r % 4],
+                threshold=float(5 + (r * 13) % 40),
+                window_millis=10_000 + (r % 5) * 10_000,
+                source=sources[r % len(sources)] if r % 2 else None,
+                anomaly_type=types[r % len(types)] if r % 3 == 0 else None,
+                min_severity=r % 5 if r % 4 == 0 else None,
+                pending_ticks=1 + r % 3,
+                cooldown_millis=(r % 4) * 5_000,
+            ))
+        return (storage, tuple(rules))
+
+    def run(state):
+        storage, rules = state
+        # A fresh evaluator per repeat: every sample pays the same
+        # OK-onwards lifecycle walk, not a saturated steady state.
+        evaluator = AlertEvaluator(
+            rules,
+            metrics=NullRegistry(),
+            anomaly_storage=storage,
+            sinks=(CollectingSink(),),
+        )
+        events = 0
+        for tick in range(n_ticks):
+            now = 5_000 + (tick * (span + 20_000)) // n_ticks
+            events += len(evaluator.evaluate(now))
+        return (evaluator, events)
+
+    def check(state, result):
+        if result is None:
+            return
+        evaluator, events = result
+        if events == 0 or evaluator.fired_total == 0:
+            raise AssertionError(
+                "alert_eval produced no transitions: the workload is "
+                "not exercising the lifecycle"
+            )
+        if len(evaluator.sinks[0].events) != events:
+            raise AssertionError(
+                "sink saw %d events but evaluate() returned %d"
+                % (len(evaluator.sinks[0].events), events)
+            )
+
+    return [
+        BenchCase(
+            name="alert_eval",
+            params={
+                "alert_rules": n_rules,
+                "alert_anomalies": n_docs,
+                "alert_ticks": n_ticks,
+            },
+            setup=setup,
+            run=run,
+            records=n_rules * n_ticks,
+            check=check,
+            group="alerts",
+        ),
+    ]
+
+
 def _data_plane_cases(params: Dict[str, Any]) -> List[BenchCase]:
     """Storage, detector, and bus cases — the stateful data plane."""
     storage_docs = params["storage_docs"]
@@ -923,6 +1020,7 @@ def build_cases(
         + _engine_cases(params)
         + _ingest_cases(params)
         + _data_plane_cases(params)
+        + _alert_cases(params)
     )
 
 

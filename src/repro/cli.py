@@ -1,6 +1,6 @@
 """Command-line interface for the LogLens reproduction.
 
-Eleven subcommands cover the library's workflow from a shell::
+Thirteen subcommands cover the library's workflow from a shell::
 
     loglens train   normal.log -o model.json      # unsupervised learning
     loglens detect  stream.log -m model.json      # report anomalies
@@ -13,6 +13,8 @@ Eleven subcommands cover the library's workflow from a shell::
     loglens chaos   stream.log -m model.json      # fault-injection proof
     loglens bench   --quick -o bench-out          # perf benchmark suite
     loglens query   "SELECT ..." --storage sqlite:loglens.db  # ad-hoc SQL
+    loglens config  check loglens.toml            # validate a config file
+    loglens alerts  list -c loglens.toml          # alerting operations
 
 ``train`` reads raw lines (one log per line), discovers patterns, learns
 automata, and writes one JSON model file.  ``detect`` replays a stream
@@ -35,6 +37,15 @@ models, and anomalies into a WAL-mode SQLite database that survives
 restarts; ``query`` then runs arbitrary **read-only** SQL against such
 a database (tables: ``logs``, ``anomalies``, ``models`` — see
 docs/STORAGE.md).
+
+The service-backed commands plus ``bench`` also take ``--config FILE``:
+a declarative TOML (or JSON) service config covering ``[service]``,
+``[storage]``, ``[execution]``, ``[ingest]``, and alerting
+(``[[alerts.rules]]`` / ``[[alerts.sinks]]`` — docs/ALERTING.md).
+Explicit command-line flags override file values.  ``config
+check|show`` validates and renders such a file; ``alerts
+list|history|test-fire`` inspects rules, reads persisted alert
+history, and proves sink wiring without a live service.
 """
 
 from __future__ import annotations
@@ -143,12 +154,59 @@ def _execution_parent() -> argparse.ArgumentParser:
     parent.add_argument(
         "--execution",
         choices=EXECUTION_BACKENDS,
-        default="serial",
+        default=None,
         help="streaming execution backend: 'serial' (default), "
              "'threads', or 'processes' (one worker process per "
              "partition — true multicore; see docs/PARALLELISM.md)",
     )
     return parent
+
+
+def _config_parent(*, required: bool = False) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "-c", "--config",
+        required=required,
+        default=None,
+        metavar="FILE",
+        help="service config file (TOML or JSON; see docs/ALERTING.md); "
+             "explicit flags override file values",
+    )
+    return parent
+
+
+def _load_file_config(args: argparse.Namespace):
+    """Parse ``--config FILE`` into a ServiceConfig, or ``None``.
+
+    Raises :class:`~repro.errors.ConfigFileError` on a bad file; the
+    command wrappers turn that into exit code 2.
+    """
+    path = getattr(args, "config", None)
+    if not path:
+        return None
+    from .service.config import ServiceConfig
+
+    return ServiceConfig.from_file(path)
+
+
+def _build_service(args: argparse.Namespace, lens: LogLens, **kwargs):
+    """``lens.to_service`` with ``--config`` / flag precedence applied.
+
+    A config file, when given, is the service construction surface
+    (storage, execution, ingest limits, alert rules and sinks); explicit
+    command-line flags override individual file values.  Without a
+    file, flags apply on top of the lens-derived defaults.
+    """
+    if getattr(args, "storage", None) is not None:
+        kwargs["storage"] = args.storage
+    if getattr(args, "execution", None) is not None:
+        kwargs["execution"] = args.execution
+    file_config = _load_file_config(args)
+    if file_config is not None:
+        if kwargs:
+            file_config = file_config.replace(**kwargs)
+        return lens.to_service(config=file_config)
+    return lens.to_service(**kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,7 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     watch = sub.add_parser(
         "watch",
-        parents=[_storage_parent(), _execution_parent()],
+        parents=[_config_parent(), _storage_parent(), _execution_parent()],
         help="follow a log file through the real-time service",
     )
     watch.add_argument("logfile", help="log file to tail")
@@ -228,7 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        parents=[_model_parent(), _storage_parent(), _execution_parent()],
+        parents=[
+            _config_parent(),
+            _model_parent(),
+            _storage_parent(),
+            _execution_parent(),
+        ],
         help="accept logs over TCP/HTTP through the network front door",
     )
     serve.add_argument(
@@ -263,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser(
         "metrics",
         parents=[
+            _config_parent(),
             _model_parent(),
             _storage_parent(),
             _json_parent("emit the raw JSON snapshot instead of a table"),
@@ -280,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos",
         parents=[
+            _config_parent(),
             _model_parent(),
             _storage_parent(),
             _json_parent("emit the raw JSON report instead of a summary"),
@@ -333,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        parents=[_execution_parent()],
+        parents=[_config_parent(), _execution_parent()],
         help="run the deterministic perf-benchmark suite and write "
              "BENCH_<case>.json artifacts",
     )
@@ -394,6 +459,71 @@ def build_parser() -> argparse.ArgumentParser:
         "sql", help="a read-only SQL statement (SELECT / PRAGMA / "
                     "EXPLAIN); writes are rejected by the engine",
     )
+
+    config = sub.add_parser(
+        "config",
+        help="validate or display a service config file (TOML/JSON)",
+    )
+    config_sub = config.add_subparsers(dest="config_command", required=True)
+    config_check = config_sub.add_parser(
+        "check",
+        help="parse and validate; exit 2 with a diagnostic on error",
+    )
+    config_check.add_argument("path", help="config file to validate")
+    config_show = config_sub.add_parser(
+        "show",
+        help="print the full effective config as JSON (every field, "
+             "defaults included; webhook credentials redacted)",
+    )
+    config_show.add_argument("path", help="config file to render")
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="inspect alert rules, alert history, and sink wiring",
+    )
+    alerts_sub = alerts.add_subparsers(dest="alerts_command", required=True)
+    alerts_list = alerts_sub.add_parser(
+        "list",
+        parents=[
+            _config_parent(required=True),
+            _json_parent("one JSON object per rule/sink"),
+        ],
+        help="list the alert rules and sinks a config file defines",
+    )
+    alerts_history = alerts_sub.add_parser(
+        "history",
+        parents=[
+            _storage_parent(
+                required=True,
+                help_text="the service database: 'sqlite:PATH' "
+                          "(alert history persists in the 'alerts' "
+                          "table)",
+            ),
+            _json_parent("one JSON object per event instead of a table"),
+        ],
+        help="show persisted alert history from a sqlite database",
+    )
+    alerts_history.add_argument(
+        "--rule", default=None, help="only events for this rule"
+    )
+    alerts_history.add_argument(
+        "--state", default=None,
+        help="only events in this state (firing/resolved/test)",
+    )
+    alerts_history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show the last N events (default 20; 0 = all)",
+    )
+    alerts_fire = alerts_sub.add_parser(
+        "test-fire",
+        parents=[
+            _config_parent(required=True),
+            _json_parent("emit the synthetic event as JSON"),
+        ],
+        help="push a synthetic event for one rule through every "
+             "configured sink (the 'is my pager wired up' check)",
+    )
+    alerts_fire.add_argument("rule", help="rule name from the config file")
 
     quality = sub.add_parser(
         "quality", help="report how well a model fits a log sample"
@@ -487,12 +617,15 @@ def _cmd_parse(args: argparse.Namespace) -> int:
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time
 
+    from .errors import ConfigFileError
     from .service.agent import FileTailAgent
 
     lens = _make_lens(args).load(args.model)
-    service = lens.to_service(
-        storage=args.storage, execution=args.execution
-    )
+    try:
+        service = _build_service(args, lens)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     source = args.source or Path(args.logfile).stem
     agent = FileTailAgent(
         service.bus,
@@ -535,6 +668,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     so this is the quickest way to see the whole pipeline's behaviour on
     a workload.
     """
+    from .errors import ConfigFileError
     from .obs import get_registry, render_table
 
     registry = get_registry()
@@ -544,7 +678,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if status:
         return status
     lines = _read_lines(args.logs)
-    service = lens.to_service(storage=args.storage)
+    try:
+        service = _build_service(args, lens)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     service.ingest(lines, source=args.source)
     service.run_until_drained()
     service.final_flush()
@@ -573,6 +711,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     0 only when every ingested record is accounted for — parsed,
     reported as an anomaly, or quarantined with failure metadata.
     """
+    from .errors import ConfigFileError
     from .faults import FaultPlan, ManualClock
     from .obs import get_registry
     from .streaming.retry import RetryPolicy
@@ -615,9 +754,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         base_delay_seconds=0.01,
         clock=clock,
     )
-    service = lens.to_service(
-        retry_policy=policy, fault_plan=plan, storage=args.storage
-    )
+    try:
+        service = _build_service(
+            args, lens, retry_policy=policy, fault_plan=plan
+        )
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
     lines = _read_lines(args.logs)
     transport = None
@@ -806,15 +949,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """
     import time
 
+    from .errors import ConfigFileError
     from .ingest import IngestServerThread, front_door
 
     lens = _make_lens(args)
     status = _fit_or_load(args, lens)
     if status:
         return status
-    service = lens.to_service(
-        storage=args.storage, execution=args.execution
-    )
+    try:
+        service = _build_service(args, lens)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     door = front_door(
         service,
         host=args.host,
@@ -872,6 +1018,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         file=sys.stderr,
     )
+    if service.alert_evaluator.rules:
+        section = service.alert_evaluator.report_section()
+        print(
+            "alerts: %d fired, %d resolved, %d suppressed, "
+            "%d delivered, %d dead-lettered"
+            % (
+                section["fired"],
+                section["resolved"],
+                section["suppressed"],
+                section["delivered"],
+                section["dead_lettered"],
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -883,6 +1043,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_results,
         run_bench,
     )
+    from .errors import ConfigFileError
+
+    try:
+        file_config = _load_file_config(args)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    execution = args.execution or (
+        file_config.execution if file_config is not None else None
+    ) or "serial"
 
     if args.list_cases:
         for group, names in grouped_case_names(quick=args.quick).items():
@@ -914,7 +1084,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             progress=lambda name: print(
                 "bench: running %s ..." % name, file=sys.stderr, flush=True
             ),
-            execution=args.execution,
+            execution=execution,
             overrides=overrides or None,
         )
     except ValueError as exc:
@@ -1017,6 +1187,179 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    """Validate (``check``) or render (``show``) a service config file.
+
+    ``check`` exits 0 with a one-line summary when the file parses and
+    every section, key, rule, and sink validates; a diagnostic naming
+    the offending section/key and the valid choices goes to stderr
+    otherwise.  ``show`` prints the *effective* configuration — every
+    field after defaulting, webhook credentials redacted — as JSON, so
+    operators can see exactly what a service built from this file would
+    run with.
+    """
+    from .errors import ConfigFileError
+    from .service.config import ServiceConfig
+
+    try:
+        config = ServiceConfig.from_file(args.path)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.config_command == "show":
+        print(json.dumps(config.describe(), sort_keys=True, indent=2))
+        return 0
+    print(
+        "OK: %s — storage=%s execution=%s, %d alert rule(s), "
+        "%d sink(s)"
+        % (
+            args.path,
+            config.describe()["storage"],
+            config.execution,
+            len(config.alerts.rules),
+            len(config.alerts.sinks),
+        )
+    )
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Operate on alerting without a live service.
+
+    ``list`` shows the rules and sinks a config file defines; ``history``
+    reads persisted alert events back out of a service's SQLite
+    database; ``test-fire`` pushes a synthetic event for one rule
+    through every configured sink, proving notification wiring end to
+    end (deliveries are retried; exhausted sinks are reported).
+    """
+    from .errors import ConfigFileError
+
+    if args.alerts_command == "history":
+        return _cmd_alerts_history(args)
+
+    from .service.config import ServiceConfig
+
+    try:
+        config = ServiceConfig.from_file(args.config)
+    except ConfigFileError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.alerts_command == "list":
+        sinks = config.alerts.describe()["sinks"]
+        if args.json:
+            for rule in config.alerts.rules:
+                print(json.dumps(rule.to_dict(), sort_keys=True))
+            for sink in sinks:
+                print(json.dumps({"sink": sink}, sort_keys=True))
+        else:
+            for rule in config.alerts.rules:
+                print(
+                    "%-24s %s %s %g (window %dms, pending %d, "
+                    "cooldown %dms)"
+                    % (
+                        rule.name,
+                        rule.signal,
+                        rule.condition,
+                        rule.threshold,
+                        rule.window_millis,
+                        rule.pending_ticks,
+                        rule.cooldown_millis,
+                    )
+                )
+            for sink in sinks:
+                print("sink: %s" % json.dumps(sink, sort_keys=True))
+        print(
+            "%d rule(s), %d sink(s)"
+            % (len(config.alerts.rules), len(sinks)),
+            file=sys.stderr,
+        )
+        return 0
+
+    # test-fire: the full history/sink/dead-letter path, minus a service.
+    from .alerts import AlertEvaluator
+
+    evaluator = AlertEvaluator(
+        config.alerts.rules, sinks=config.alerts.sinks
+    )
+    try:
+        event = evaluator.test_fire(args.rule)
+    except KeyError as exc:
+        print("error: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(event.to_dict(), sort_keys=True))
+    print(
+        "test-fire %r: %d delivery(ies), %d dead-lettered"
+        % (
+            args.rule,
+            evaluator.delivered_total,
+            evaluator.dead_lettered_total,
+        ),
+        file=sys.stderr,
+    )
+    return 0 if evaluator.dead_lettered_total == 0 else 1
+
+
+def _cmd_alerts_history(args: argparse.Namespace) -> int:
+    from .alerts import AlertHistory
+    from .service.backends import parse_storage_spec
+    from .service.sqlite_store import SQLiteDatabase, SQLiteDocumentStore
+
+    spec = args.storage
+    if not spec.startswith("sqlite:"):
+        spec = "sqlite:" + spec  # bare paths are a convenience alias
+    try:
+        config = parse_storage_spec(spec)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if config.kind != "sqlite" or not Path(config.path).is_file():
+        print(
+            "error: 'alerts history' needs an existing sqlite "
+            "database, got %r" % args.storage,
+            file=sys.stderr,
+        )
+        return 2
+    database = SQLiteDatabase(config.path)
+    try:
+        history = AlertHistory(
+            backend=SQLiteDocumentStore(database, "alerts")
+        )
+        events = history.all()
+    finally:
+        database.close()
+    if args.rule is not None:
+        events = [e for e in events if e.get("rule") == args.rule]
+    if args.state is not None:
+        events = [e for e in events if e.get("state") == args.state]
+    total = len(events)
+    if args.limit:
+        events = events[-args.limit:]
+    for event in events:
+        doc = {k: v for k, v in event.items() if k != "_id"}
+        if args.json:
+            print(json.dumps(doc, sort_keys=True))
+        else:
+            print(
+                "%-14d %-10s %-24s %s %s %g (value %s)"
+                % (
+                    doc.get("timestamp_millis", 0),
+                    doc.get("state", "?"),
+                    doc.get("rule", "?"),
+                    doc.get("signal", "?"),
+                    doc.get("condition", "?"),
+                    doc.get("threshold", 0.0),
+                    doc.get("value"),
+                )
+            )
+    print(
+        "%d event(s) shown of %d" % (len(events), total),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_quality(args: argparse.Namespace) -> int:
     from .parsing.quality import evaluate_pattern_model
 
@@ -1041,6 +1384,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "bench": _cmd_bench,
     "query": _cmd_query,
+    "config": _cmd_config,
+    "alerts": _cmd_alerts,
 }
 
 

@@ -26,6 +26,8 @@ __all__ = [
     "PartitioningError",
     "IngestError",
     "ExecutionError",
+    "AlertDeliveryError",
+    "ConfigFileError",
 ]
 
 
@@ -48,6 +50,26 @@ class DeprecationError(LogLensError, TypeError):
             "%s was removed after its deprecation cycle; use %s instead"
             % (removed, replacement)
         )
+
+
+class AlertDeliveryError(LogLensError):
+    """One alert-sink delivery attempt failed.
+
+    Raised by sinks (e.g. a webhook POST that errored or returned an
+    HTTP failure status); the alert evaluator retries per its
+    :class:`~repro.streaming.retry.RetryPolicy` and dead-letters the
+    event when the budget is exhausted.
+    """
+
+
+class ConfigFileError(LogLensError, ValueError):
+    """A declarative service-config file failed to parse or validate.
+
+    The message names the offending file, section, and — for unknown
+    keys — the valid alternatives, so the stack trace is a complete
+    fix-it hint.  Subclasses ``ValueError`` so generic config
+    validation handlers keep working.
+    """
 
 
 class IngestError(LogLensError):

@@ -11,7 +11,8 @@ wired :class:`~repro.service.loglens_service.LogLensService`.
 
 from .agent import FileTailAgent, ReplayAgent
 from .bus import Consumer, Message, MessageBus, dead_letter_topic
-from .config import ServiceConfig
+from .config import AlertsConfig, ServiceConfig
+from .sections import ReportSection
 from .dashboard import AdHocQuery, Dashboard
 from .fleet import FleetService
 from .heartbeat import HeartbeatController, SourceClock
@@ -50,8 +51,10 @@ __all__ = [
     "SourceClock",
     "LogManager",
     "LogManagerStats",
+    "AlertsConfig",
     "LogLensService",
     "QuarantineReport",
+    "ReportSection",
     "ServiceConfig",
     "ServiceReport",
     "StepReport",

@@ -40,6 +40,7 @@ from typing import (
 
 import time as _time
 
+from ..alerts import AlertEvaluator, AlertHistory
 from ..core.anomaly import Anomaly
 from ..errors import DeprecationError
 from ..faults import ManualClock
@@ -60,11 +61,13 @@ from .log_manager import LogManager
 from .model_builder import BuiltModels, ModelBuilder
 from .model_controller import ModelBinding, ModelController
 from .model_manager import ModelManager, PATTERN_MODEL, SEQUENCE_MODEL
-from .storage import AnomalyStorage, LogStorage, ModelStorage
+from .sections import ReportSection
+from .storage import AnomalyStorage, DocumentStore, LogStorage, ModelStorage
 
 __all__ = [
     "StepReport",
     "QuarantineReport",
+    "ReportSection",
     "ServiceReport",
     "ServiceConfig",
     "LogLensService",
@@ -330,6 +333,8 @@ class StepReport:
     retries: int = 0
     #: Records quarantined to dead-letter topics during this step.
     quarantined: int = 0
+    #: Alert lifecycle events (fired/resolved) emitted during this step.
+    alerts: int = 0
 
 
 @dataclass
@@ -350,6 +355,13 @@ class ServiceReport:
     ``stats()`` counters and ``metrics_snapshot()`` export into one
     typed object.  ``metrics`` is the full observability snapshot (or
     ``None`` when requested without it).
+
+    ``sections`` holds one dict per registered
+    :class:`~repro.service.sections.ReportSection` provider, keyed by
+    section name in registration order — ``quarantine`` first, then
+    ``alerts``; that ordering is part of the export contract.  The
+    typed ``quarantine`` field mirrors its section for ergonomic
+    access; :attr:`alerts` does the same for the alerting section.
     """
 
     steps: int
@@ -362,6 +374,12 @@ class ServiceReport:
     downtime_seconds: float
     quarantine: QuarantineReport
     metrics: Optional[Dict[str, Any]] = None
+    sections: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def alerts(self) -> Optional[Dict[str, Any]]:
+        """The alerting section (None when no evaluator registered)."""
+        return self.sections.get("alerts")
 
     def counters(self) -> Dict[str, Any]:
         """The legacy ``stats()`` dict (exactly the historical keys)."""
@@ -377,19 +395,43 @@ class ServiceReport:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe export of the full report."""
+        """JSON-safe export: counters, then each registered section in
+        registration order, then the optional metrics snapshot."""
         out = self.counters()
-        out["quarantine"] = {
-            "retries": self.quarantine.retries,
-            "quarantined": self.quarantine.quarantined,
-            "dead_letter_depth": self.quarantine.dead_letter_depth,
-            "dead_letter_origins": list(
-                self.quarantine.dead_letter_origins
-            ),
-        }
+        if "quarantine" not in self.sections:
+            # Hand-constructed reports (no section registry): keep the
+            # historical quarantine export from the typed field.
+            out["quarantine"] = {
+                "retries": self.quarantine.retries,
+                "quarantined": self.quarantine.quarantined,
+                "dead_letter_depth": self.quarantine.dead_letter_depth,
+                "dead_letter_origins": list(
+                    self.quarantine.dead_letter_origins
+                ),
+            }
+        for name, section in self.sections.items():
+            out[name] = dict(section)
         if self.metrics is not None:
             out["metrics"] = self.metrics
         return out
+
+
+class _QuarantineSection:
+    """The fault-tolerance accounting as a ``ReportSection`` provider."""
+
+    section_name = "quarantine"
+
+    def __init__(self, service: "LogLensService") -> None:
+        self._service = service
+
+    def report_section(self) -> Dict[str, Any]:
+        service = self._service
+        return {
+            "retries": service.retries_total(),
+            "quarantined": service.quarantined_total(),
+            "dead_letter_depth": service.dead_letter_depth(),
+            "dead_letter_origins": service.bus.dead_letter_topics(),
+        }
 
 
 class LogLensService:
@@ -403,10 +445,12 @@ class LogLensService:
 
     See :class:`~repro.service.config.ServiceConfig` for every knob
     (partitions, heartbeat cadence, expiry, metrics, retry, faults,
-    storage, and the network-ingestion limits).  The pre-config keyword
-    arguments (``LogLensService(num_partitions=8, ...)``) remain
-    accepted for one deprecation cycle and are folded into a config;
-    mixing ``config=`` with legacy keywords is an error.
+    storage, network-ingestion limits, and alerting) — or build one
+    from a declarative file with ``ServiceConfig.from_file``.  The
+    pre-config keyword arguments (``LogLensService(num_partitions=8,
+    ...)``) completed their deprecation cycle and now raise
+    :class:`~repro.errors.DeprecationError` naming the config field to
+    use; mixing ``config=`` with legacy keywords is an error.
 
     Storage note: when a persistent database already holds model
     versions from an earlier run, the latest models are republished into
@@ -485,6 +529,30 @@ class LogLensService:
             self.log_storage = LogStorage(metrics=self.metrics)
             self.model_storage = ModelStorage()
             self.anomaly_storage = AnomalyStorage(metrics=self.metrics)
+        # Alerting plane: rule evaluation on the heartbeat cycle, with
+        # the history store on the same backend kind as the rest of the
+        # storage plane (the ``alerts`` collection under SQLite).
+        if self.storage_config.kind == "sqlite":
+            from .sqlite_store import SQLiteDocumentStore as _SQLiteStore
+
+            alert_backend: Any = _SQLiteStore(
+                self.storage_database, "alerts", metrics=self.metrics
+            )
+        else:
+            alert_backend = DocumentStore(
+                metrics=self.metrics, name="alerts"
+            )
+        self.alert_history = AlertHistory(backend=alert_backend)
+        self.alert_evaluator = AlertEvaluator(
+            config.alerts.rules,
+            metrics=self.metrics,
+            anomaly_storage=self.anomaly_storage,
+            history=self.alert_history,
+            sinks=config.alerts.sinks,
+            bus=self.bus,
+            retry_policy=self.retry_policy,
+            fault_plan=fault_plan,
+        )
         self.log_manager = LogManager(self.bus, self.log_storage)
         self._ingest_consumer = self.bus.consumer(
             "logs.ingest", group="loglens-parser"
@@ -542,10 +610,21 @@ class LogLensService:
         )
 
         self._steps = 0
+        #: Latest anomaly timestamp seen — the log-time fallback clock
+        #: when no parsed record has fed the heartbeat controller yet.
+        self._last_anomaly_millis: Optional[int] = None
+        #: Timestamp-less anomaly docs held until the end of the step
+        #: (stamped with log-time "now" by _flush_unstamped_anomalies).
+        self._unstamped_anomalies: List[Dict[str, Any]] = []
         self._parsed_buffer: List[StreamRecord] = []
         # Second list recycled against _parsed_buffer each step, so the
         # steady state allocates no fresh buffer per micro-batch.
         self._parsed_spare: List[StreamRecord] = []
+        # Report sections in registration order (the to_dict contract:
+        # quarantine, then alerts, then any later registrations).
+        self._report_sections: List[ReportSection] = []
+        self.register_report_section(_QuarantineSection(self))
+        self.register_report_section(self.alert_evaluator)
         self._build_graphs()
 
         # Restart path: a persistent database that already holds model
@@ -588,7 +667,37 @@ class LogLensService:
     # ------------------------------------------------------------------
     def _store_anomaly(self, record: StreamRecord) -> None:
         anomaly: Anomaly = record.value
-        self.anomaly_storage.store(anomaly.to_dict())
+        doc = anomaly.to_dict()
+        ts = anomaly.timestamp_millis
+        if ts is None:
+            # Timestamp-less anomalies (e.g. an unparsed line carries
+            # no parseable clock) would never match any alert window.
+            # Hold the doc until the end of the step, when the batch's
+            # heartbeat observations have advanced log-time "now", and
+            # stamp it with that.
+            self._unstamped_anomalies.append(doc)
+            return
+        self.anomaly_storage.store(doc)
+        if (
+            self._last_anomaly_millis is None
+            or ts > self._last_anomaly_millis
+        ):
+            self._last_anomaly_millis = ts
+
+    def _flush_unstamped_anomalies(self) -> None:
+        """Store held timestamp-less anomalies at log-time "now"."""
+        if not self._unstamped_anomalies:
+            return
+        now = self.log_time_now()
+        for doc in self._unstamped_anomalies:
+            doc["timestamp_millis"] = now
+            self.anomaly_storage.store(doc)
+        self._unstamped_anomalies.clear()
+        if now is not None and (
+            self._last_anomaly_millis is None
+            or now > self._last_anomaly_millis
+        ):
+            self._last_anomaly_millis = now
 
     def _buffer_parsed(self, record: StreamRecord) -> None:
         self._parsed_buffer.append(record)
@@ -709,6 +818,20 @@ class LogLensService:
             for r in parsed_records
         ] + heartbeats
         seq_metrics = self.seq_ctx.run_batch(seq_batch)
+        self._flush_unstamped_anomalies()
+
+        # Alerting rides the heartbeat cycle: rules see every anomaly
+        # this step stored, at the extrapolated log-time "now".  With no
+        # rules configured this is one tuple check — nothing on the hot
+        # path.
+        alert_events = 0
+        if (
+            self.alert_evaluator.rules
+            and self._steps % self.heartbeat_period_steps == 0
+        ):
+            alert_events = len(
+                self.alert_evaluator.evaluate(self.log_time_now())
+            )
 
         after = self.anomaly_storage.count()
         stateless = sum(
@@ -730,7 +853,24 @@ class LogLensService:
             quarantined=(
                 parse_metrics.quarantined + seq_metrics.quarantined
             ),
+            alerts=alert_events,
         )
+
+    def log_time_now(self) -> Optional[int]:
+        """The service's current log-time "now" (extrapolated millis).
+
+        The maximum of every source's heartbeat-extrapolated clock —
+        the same notion of time the detectors sweep on — with the
+        latest stored anomaly timestamp as a floor (so alerting works
+        even when only stateless anomalies flow), or ``None`` before
+        any timestamped log has been observed.
+        """
+        best: Optional[int] = self._last_anomaly_millis
+        for source in self.heartbeat_controller.sources():
+            estimate = self.heartbeat_controller.estimated_time(source)
+            if estimate is not None and (best is None or estimate > best):
+                best = estimate
+        return best
 
     def close(self) -> None:
         """Release execution and storage resources (idempotent).
@@ -775,6 +915,7 @@ class LogLensService:
         Equivalent to heartbeats arbitrarily far in the future; used when a
         replayed dataset ends and remaining open states must be judged.
         """
+        self._flush_unstamped_anomalies()
         count = 0
         for partition_id in range(self.seq_ctx.num_partitions):
             flushed = self.seq_ctx.call_partition(
@@ -887,14 +1028,33 @@ class LogLensService:
     # ------------------------------------------------------------------
     # The one results surface
     # ------------------------------------------------------------------
+    def register_report_section(self, provider: ReportSection) -> None:
+        """Add a subsystem's section to every future :meth:`report`.
+
+        Sections render in registration order in ``report().to_dict()``
+        (that ordering is pinned by a regression test); registering a
+        duplicate section name is an error.
+        """
+        name = provider.section_name
+        if any(p.section_name == name for p in self._report_sections):
+            raise ValueError(
+                "report section %r is already registered" % name
+            )
+        self._report_sections.append(provider)
+
     def report(self, include_metrics: bool = True) -> ServiceReport:
         """Typed snapshot of everything the service can tell you.
 
-        Merges the historical ``stats()`` counters, the quarantine /
-        fault-tolerance accounting, and (unless ``include_metrics`` is
-        false) the full observability snapshot previously returned by
-        ``metrics_snapshot()``.
+        Merges the historical ``stats()`` counters, one section per
+        registered :class:`~repro.service.sections.ReportSection`
+        provider (quarantine accounting, alerting, ...), and (unless
+        ``include_metrics`` is false) the full observability snapshot
+        previously returned by ``metrics_snapshot()``.
         """
+        sections: Dict[str, Dict[str, Any]] = {}
+        for provider in self._report_sections:
+            sections[provider.section_name] = provider.report_section()
+        quarantine = sections["quarantine"]
         return ServiceReport(
             steps=self._steps,
             logs_archived=self.log_storage.count(),
@@ -911,12 +1071,13 @@ class LogLensService:
                 + self.seq_ctx.metrics.downtime_seconds
             ),
             quarantine=QuarantineReport(
-                retries=self.retries_total(),
-                quarantined=self.quarantined_total(),
-                dead_letter_depth=self.dead_letter_depth(),
-                dead_letter_origins=self.bus.dead_letter_topics(),
+                retries=quarantine["retries"],
+                quarantined=quarantine["quarantined"],
+                dead_letter_depth=quarantine["dead_letter_depth"],
+                dead_letter_origins=quarantine["dead_letter_origins"],
             ),
             metrics=self.metrics.to_dict() if include_metrics else None,
+            sections=sections,
         )
 
     # ------------------------------------------------------------------

@@ -101,7 +101,8 @@ def test_cli_entry_point():
     commands = parser._subparsers._group_actions[0].choices
     assert set(commands) == {
         "train", "detect", "inspect", "parse", "watch", "quality",
-        "metrics", "chaos", "bench", "query", "serve",
+        "metrics", "chaos", "bench", "query", "serve", "config",
+        "alerts",
     }
 
 

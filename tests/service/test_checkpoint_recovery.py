@@ -10,6 +10,7 @@ from tests.service.test_loglens_service import (
     training_lines,
 )
 
+from repro.service.config import ServiceConfig
 from repro.service.loglens_service import LogLensService
 
 
@@ -32,7 +33,7 @@ class TestCheckpointRecovery:
         checkpoint = service.checkpoint()
 
         # "Crash": build a brand-new service and restore.
-        replacement = LogLensService(num_partitions=2)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2))
         replacement.restore_checkpoint(checkpoint)
         assert replacement.open_event_count() == 1
 
@@ -51,7 +52,7 @@ class TestCheckpointRecovery:
         service.run_until_drained()
         checkpoint = service.checkpoint()
 
-        replacement = LogLensService(num_partitions=2)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2))
         replacement.restore_checkpoint(checkpoint)
         flushed = replacement.final_flush()
         assert flushed == 1
@@ -61,7 +62,7 @@ class TestCheckpointRecovery:
     def test_models_travel_with_the_checkpoint(self):
         service = trained_service()
         checkpoint = service.checkpoint()
-        replacement = LogLensService(num_partitions=2)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2))
         replacement.restore_checkpoint(checkpoint)
         # The replacement parses without retraining.
         replacement.ingest(event_lines("ck-2", 20), source="app")
@@ -75,7 +76,7 @@ class TestCheckpointRecovery:
         service.run_until_drained()
         before = service.heartbeat_controller.estimated_time("app")
         assert before is not None
-        replacement = LogLensService(num_partitions=2)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2))
         replacement.restore_checkpoint(service.checkpoint())
         after = replacement.heartbeat_controller.estimated_time("app")
         assert after == before
@@ -83,7 +84,7 @@ class TestCheckpointRecovery:
     def test_partition_count_mismatch_rejected(self):
         service = trained_service()
         checkpoint = service.checkpoint()
-        replacement = LogLensService(num_partitions=3)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=3))
         with pytest.raises(ValueError):
             replacement.restore_checkpoint(checkpoint)
 
@@ -92,6 +93,6 @@ class TestCheckpointRecovery:
         service.ingest(event_lines("ck-4", 10), source="app")
         service.run_until_drained()
         steps = service.report(include_metrics=False).counters()["steps"]
-        replacement = LogLensService(num_partitions=2)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2))
         replacement.restore_checkpoint(service.checkpoint())
         assert replacement.report(include_metrics=False).counters()["steps"] == steps

@@ -13,6 +13,7 @@ from tests.service.test_loglens_service import (
 from repro.errors import TopicNotFoundError
 from repro.faults import FaultPlan
 from repro.service import ServiceReport, dead_letter_topic
+from repro.service.config import ServiceConfig
 from repro.service.loglens_service import PARSE_STAGE, LogLensService
 
 LEGACY_STATS_KEYS = {
@@ -209,7 +210,7 @@ class TestCheckpointUnderFaults:
         checkpoint = faulty.checkpoint()
 
         plan = FaultPlan().fail_first("operator:flat_map:*", 2)
-        replacement = LogLensService(num_partitions=2, fault_plan=plan)
+        replacement = LogLensService(config=ServiceConfig(num_partitions=2, fault_plan=plan))
         replacement.restore_checkpoint(checkpoint)
         replacement.ingest(lines[3:], source="app")
         replacement.run_until_drained()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.service.config import ServiceConfig
 from repro.service.fleet import FleetService
 from repro.service.loglens_service import LogLensService
 
@@ -35,7 +36,7 @@ def db_train(n=8):
 @pytest.fixture
 def fleet():
     fleet = FleetService(
-        service_factory=lambda: LogLensService(num_partitions=2)
+        service_factory=lambda: LogLensService(config=ServiceConfig(num_partitions=2))
     )
     fleet.add_source("web", web_train())
     fleet.add_source("db", db_train())

@@ -1,5 +1,6 @@
 """Integration-grade unit tests for the fully wired LogLensService."""
 
+from repro.service.config import ServiceConfig
 from repro.service.loglens_service import LogLensService
 
 
@@ -31,7 +32,7 @@ def training_lines(n=12):
 
 
 def trained_service(**kwargs):
-    service = LogLensService(num_partitions=2, **kwargs)
+    service = LogLensService(config=ServiceConfig(num_partitions=2, **kwargs))
     service.train(training_lines())
     return service
 

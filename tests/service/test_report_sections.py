@@ -1,0 +1,56 @@
+"""The ReportSection registry: ordering is part of the export contract."""
+
+import pytest
+
+from repro.service.config import ServiceConfig
+from repro.service.loglens_service import LogLensService
+from repro.service.sections import ReportSection
+
+
+class _StubSection:
+    section_name = "stub"
+
+    def report_section(self):
+        return {"ok": True}
+
+
+@pytest.fixture()
+def service():
+    service = LogLensService(config=ServiceConfig(num_partitions=2))
+    yield service
+    service.close()
+
+
+class TestSectionOrdering:
+    def test_builtin_sections_render_in_pinned_order(self, service):
+        report = service.report(include_metrics=False)
+        assert list(report.sections) == ["quarantine", "alerts"]
+
+    def test_to_dict_keeps_counters_then_sections_order(self, service):
+        exported = service.report(include_metrics=False).to_dict()
+        keys = list(exported)
+        assert keys.index("quarantine") < keys.index("alerts")
+        # Counters come before any section.
+        assert keys.index("steps") < keys.index("quarantine")
+
+    def test_registrations_append_after_the_builtins(self, service):
+        service.register_report_section(_StubSection())
+        report = service.report(include_metrics=False)
+        assert list(report.sections) == ["quarantine", "alerts", "stub"]
+        assert report.sections["stub"] == {"ok": True}
+
+
+class TestRegistry:
+    def test_duplicate_section_name_rejected(self, service):
+        with pytest.raises(ValueError, match="alerts"):
+            service.register_report_section(
+                service.alert_evaluator
+            )
+
+    def test_providers_satisfy_the_protocol(self, service):
+        assert isinstance(service.alert_evaluator, ReportSection)
+        assert isinstance(_StubSection(), ReportSection)
+
+    def test_alerts_property_mirrors_the_section(self, service):
+        report = service.report(include_metrics=False)
+        assert report.alerts is report.sections["alerts"]

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.errors import DeprecationError
 from repro.ingest import IngestLimits
 from repro.obs import MetricsRegistry
 from repro.service import LogLensService, ServiceConfig
@@ -22,12 +23,16 @@ class TestConfigConstruction:
         assert len(service.parse_ctx.workers) == 2
         service.close()
 
-    def test_legacy_kwargs_fold_into_a_config(self):
-        service = LogLensService(num_partitions=3, expiry_factor=4.0)
-        assert isinstance(service.config, ServiceConfig)
-        assert service.config.num_partitions == 3
-        assert service.config.expiry_factor == 4.0
-        service.close()
+    def test_legacy_kwargs_raise_with_migration_hint(self):
+        # The deprecation cycle is complete: folding kwargs into a
+        # config is gone, and the error names the replacement field
+        # for every kwarg that was passed.
+        with pytest.raises(DeprecationError) as excinfo:
+            LogLensService(num_partitions=3, expiry_factor=4.0)
+        message = str(excinfo.value)
+        assert "num_partitions= is ServiceConfig.num_partitions" in message
+        assert "expiry_factor= is ServiceConfig.expiry_factor" in message
+        assert "LogLensService(config=ServiceConfig(" in message
 
     def test_config_plus_kwargs_is_an_error(self):
         with pytest.raises(TypeError, match="not both"):

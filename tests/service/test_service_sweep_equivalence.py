@@ -11,6 +11,7 @@ from unittest import mock
 
 from repro.faults import FaultPlan
 from repro.sequence.detector import LogSequenceDetector
+from repro.service.config import ServiceConfig
 from repro.service.loglens_service import LogLensService
 
 from .test_loglens_service import event_lines, training_lines
@@ -29,13 +30,13 @@ def linear_service(**kwargs):
         "repro.service.loglens_service.LogSequenceDetector",
         _LinearSweepDetector,
     ):
-        service = LogLensService(num_partitions=2, **kwargs)
+        service = LogLensService(config=ServiceConfig(num_partitions=2, **kwargs))
         service.train(training_lines())
     return service
 
 
 def heap_service(**kwargs):
-    service = LogLensService(num_partitions=2, **kwargs)
+    service = LogLensService(config=ServiceConfig(num_partitions=2, **kwargs))
     service.train(training_lines())
     return service
 

@@ -21,6 +21,7 @@ import random
 
 import pytest
 
+from repro.service.config import ServiceConfig
 from repro.service.backends import (
     StorageBackend,
     parse_storage_spec,
@@ -356,7 +357,7 @@ class TestServiceRestart:
         from repro.service.loglens_service import LogLensService
 
         spec = "sqlite:%s" % (tmp_path / "service.db")
-        service = LogLensService(num_partitions=2, storage=spec)
+        service = LogLensService(config=ServiceConfig(num_partitions=2, storage=spec))
         service.train(self._training())
         service.ingest(
             self._lines("fl-a", 30)
@@ -373,7 +374,7 @@ class TestServiceRestart:
         assert anomalies_before == 1  # the missing_end flow
         service.close()
 
-        restarted = LogLensService(num_partitions=2, storage=spec)
+        restarted = LogLensService(config=ServiceConfig(num_partitions=2, storage=spec))
         try:
             # Archive, anomalies, and model history all survived.
             assert restarted.log_storage.count() == logs_before
@@ -400,7 +401,7 @@ class TestServiceRestart:
     def test_memory_service_has_no_database(self):
         from repro.service.loglens_service import LogLensService
 
-        service = LogLensService(num_partitions=2)
+        service = LogLensService(config=ServiceConfig(num_partitions=2))
         assert service.storage_config.kind == "memory"
         assert service.storage_database is None
         service.close()  # must be a no-op, not an error
